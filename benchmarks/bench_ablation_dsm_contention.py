@@ -1,0 +1,35 @@
+"""Ablation 3 (DESIGN.md §4) — DSM fabric contention.
+
+With the contention coefficient zeroed (an ideal crossbar), Fig 8's
+cluster-size throughput decline disappears — demonstrating that the
+decline is a *shared-fabric* effect, not a per-link one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.dsm.network as netmod
+from repro.arch import get_device
+from repro.dsm import RingCopyBenchmark
+
+
+def _best_by_cs(device):
+    rbc = RingCopyBenchmark(device)
+    return {cs: rbc.measure(cluster_size=cs, block_threads=1024,
+                            ilp=8).aggregate_tbps
+            for cs in (2, 4, 8, 16)}
+
+
+def test_contention_drives_cluster_decline(benchmark, monkeypatch):
+    h800 = get_device("H800")
+    with_contention = benchmark(_best_by_cs, h800)
+    assert with_contention[2] > with_contention[16] * 2
+
+    monkeypatch.setattr(netmod, "_CONTENTION_ALPHA", 0.0)
+    without = _best_by_cs(h800)
+    # ideal crossbar: cluster size no longer matters (up to the ±2 %
+    # wobble of how many SMs a cluster size can fully populate)
+    vals = list(without.values())
+    assert max(vals) == pytest.approx(min(vals), rel=0.02)
+    assert without[16] > with_contention[16] * 2

@@ -1,0 +1,44 @@
+"""Ablation 2 (DESIGN.md §4) — async pipeline depth.
+
+Deeper cp.async rings hide more latency per step but double/triple the
+shared-memory footprint, cutting resident blocks — the model exposes
+both sides of the trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import get_device
+from repro.asynccopy import AsyncCopyConfig, CopyVariant, \
+    TiledMatmulModel
+
+
+def test_pipeline_depth_tradeoff(benchmark):
+    m = TiledMatmulModel(get_device("H800"))
+
+    def sweep():
+        return {
+            stages: m.throughput_gflops(AsyncCopyConfig(
+                8, 4, CopyVariant.ASYNC, pipeline_stages=stages))
+            for stages in (2, 3, 4)
+        }
+
+    by_depth = benchmark(sweep)
+    # at low occupancy a deeper ring hides more latency
+    assert by_depth[3] >= by_depth[2]
+
+
+def test_deeper_ring_costs_occupancy():
+    m = TiledMatmulModel(get_device("H800"))
+    shallow = AsyncCopyConfig(32, 32, CopyVariant.ASYNC,
+                              pipeline_stages=2)
+    deep = AsyncCopyConfig(32, 32, CopyVariant.ASYNC,
+                           pipeline_stages=8)
+    assert deep.smem_bytes_per_block == 4 * shallow.smem_bytes_per_block
+    assert m.resident_blocks(deep) <= m.resident_blocks(shallow)
+
+
+def test_single_stage_is_rejected():
+    with pytest.raises(ValueError):
+        AsyncCopyConfig(8, 1, CopyVariant.ASYNC, pipeline_stages=1)

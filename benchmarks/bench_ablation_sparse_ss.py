@@ -1,0 +1,38 @@
+"""Ablation 1 (DESIGN.md §4) — sparse-SS shared-memory pressure.
+
+The claim: sparse wgmma's SS-mode deficit is *entirely* the unpruned-A
+shared-memory traffic.  Removing that traffic (= the RS operand path)
+restores latency to 128 cycles and throughput to the RS level.
+"""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.isa import OperandSource, WgmmaInstruction
+from repro.isa.dtypes import DType
+from repro.tensorcore import TensorCoreTimingModel
+
+
+def test_sparse_ss_penalty_is_unpruned_a_traffic(benchmark):
+    tm = TensorCoreTimingModel(get_device("H800"))
+
+    def measure():
+        ss = tm.wgmma(WgmmaInstruction(DType.FP16, DType.FP32, 256,
+                                       sparse=True,
+                                       a_source=OperandSource.SHARED))
+        rs = tm.wgmma(WgmmaInstruction(DType.FP16, DType.FP32, 256,
+                                       sparse=True,
+                                       a_source=OperandSource.REGISTER))
+        return ss, rs
+
+    ss, rs = benchmark(measure)
+    extra_bytes = (ss.instr.shared_memory_bytes()
+                   - rs.instr.shared_memory_bytes()
+                   - ss.instr.m * ss.instr.k * 2)  # pruned-A equivalent
+    smem_clk = extra_bytes / 128.0
+    # with the traffic: +16 cycles and lower throughput
+    assert ss.latency_clk - rs.latency_clk == smem_clk == 16.0
+    assert ss.throughput_tflops() < rs.throughput_tflops()
+    # ablated (RS path): deficit gone
+    assert rs.latency_clk == 128.0
+    assert rs.fraction_of_peak() > 0.95

@@ -1,0 +1,30 @@
+"""Ablation 5 (DESIGN.md §4) — TE quantisation overhead.
+
+Zeroing the cast/amax/scale operators moves the FP8-vs-FP16 crossover
+from N ≈ 4–8k down to (essentially) N = 0: the small-matrix FP8 loss in
+Figs 3–4 is pure conversion overhead, not tensor-core behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.te import CostModel, Precision
+
+
+def test_overhead_sets_the_crossover(benchmark):
+    cm = CostModel(get_device("H800"))
+
+    def crossover(include_overheads: bool) -> int:
+        for n in (256, 512, 1024, 2048, 4096, 8192, 16384):
+            fp8 = cm.linear_tflops(n, Precision.FP8,
+                                   include_overheads=include_overheads)
+            fp16 = cm.linear_tflops(n, Precision.FP16)
+            if fp8 > fp16:
+                return n
+        return 1 << 30
+
+    with_ov = benchmark(crossover, True)
+    without = crossover(False)
+    assert with_ov >= 2048          # overhead pushes crossover out
+    assert without <= 512           # ablated: FP8 wins almost instantly
+    assert without < with_ov

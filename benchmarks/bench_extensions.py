@@ -1,0 +1,56 @@
+"""Benchmarks for the extension experiments (DESIGN.md E1–E5 + more).
+
+Each extension artefact runs through the same harness discipline as
+the paper tables: regenerate, check findings, time the regeneration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import list_experiments, run_experiment
+
+_EXTENSIONS = [n for n in list_experiments() if n.startswith("ext_")]
+
+
+@pytest.mark.parametrize("name", _EXTENSIONS)
+def test_extension_artefact(benchmark, paper_artefact, name):
+    benchmark.pedantic(run_experiment, args=(name,), rounds=1,
+                       iterations=1)
+    paper_artefact(name)
+
+
+def test_trace_simulator_throughput(benchmark):
+    """Raw simulation speed: instructions per second of wall time."""
+    from repro.trace import SmSimulator, TraceBuilder
+    traces = [TraceBuilder.independent_stream(500, latency=8.0,
+                                              ii=2.0)
+              for _ in range(8)]
+    sim = SmSimulator()
+    res = benchmark(sim.run, traces)
+    assert res.instructions == 4000
+
+
+def test_tiny_llama_generation(benchmark):
+    from repro.te.llama import TinyLlama, TinyLlamaConfig
+    model = TinyLlama(TinyLlamaConfig(vocab_size=64, hidden=32,
+                                      layers=2, heads=4,
+                                      ffn_hidden=64, max_seq=32))
+    out = benchmark(model.generate, [1, 2, 3], 8)
+    assert len(out) == 11
+
+
+def test_kernel_model_grid(benchmark):
+    from repro.arch import get_device
+    from repro.sm import BlockConfig, KernelModel, KernelSpec
+    km = KernelModel(get_device("H800"))
+    specs = [
+        KernelSpec(name=f"k{i}", block=BlockConfig(threads=256),
+                   num_blocks=1024,
+                   flops_per_thread=float(10 ** i),
+                   dram_bytes_per_thread=64.0)
+        for i in range(1, 6)
+    ]
+    ests = benchmark(lambda: [km.estimate(s) for s in specs])
+    assert len(ests) == 5

@@ -1,0 +1,23 @@
+"""Fig 3 — FP8 te.Linear operator time shares (exp id F3)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.te import CostModel, Precision
+
+
+def test_fp8_linear_breakdown(benchmark):
+    cm = CostModel(get_device("H800"))
+
+    def breakdown():
+        return [cm.linear(n, n, n, Precision.FP8)
+                for n in (1024, 2048, 4096, 8192, 16384)]
+
+    all_ops = benchmark(breakdown)
+    assert all(len(ops) == 3 for ops in all_ops)
+
+
+def test_fig03_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig03_te_breakdown")
+    paper_artefact("fig03_te_breakdown")

@@ -1,0 +1,29 @@
+"""Fig 4 — te.Linear throughput sweep (exp id F4).
+
+Also benchmarks a real (small) FP8 forward through the functional
+Linear module, exercising the amax-scale quantisation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import run_experiment
+from repro.te import Linear, fp8_autocast
+
+
+def test_fp8_linear_forward(benchmark):
+    lin = Linear(512, 512, bias=False)
+    x = np.random.default_rng(0).normal(size=(64, 512))
+
+    def fwd():
+        with fp8_autocast():
+            return lin(x)
+
+    y = benchmark(fwd)
+    assert y.shape == (64, 512)
+
+
+def test_fig04_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig04_te_linear")
+    paper_artefact("fig04_te_linear")

@@ -1,0 +1,42 @@
+"""Fig 5 — te.TransformerLayer latency sweep (exp id F5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.te import (
+    CostModel,
+    Precision,
+    TransformerLayer,
+    TransformerLayerConfig,
+)
+
+
+def test_layer_cost_sweep(benchmark):
+    cm = CostModel(get_device("H800"))
+    layers = {h: TransformerLayer(cfg) for h, cfg in
+              TransformerLayerConfig.PAPER_CONFIGS.items()}
+
+    def sweep():
+        return {
+            (h, p.name): layer.latency_ms(cm, precision=p)
+            for h, layer in layers.items()
+            for p in (Precision.FP8, Precision.FP16, Precision.FP32)
+        }
+
+    lat = benchmark(sweep)
+    assert len(lat) == 15
+
+
+def test_layer_forward_small(benchmark):
+    layer = TransformerLayer(TransformerLayerConfig(128, 256, 4))
+    x = np.random.default_rng(0).normal(size=(2, 16, 128))
+    y = benchmark(layer.forward, x)
+    assert y.shape == x.shape
+
+
+def test_fig05_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig05_te_layer")
+    paper_artefact("fig05_te_layer")

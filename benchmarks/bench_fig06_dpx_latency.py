@@ -1,0 +1,27 @@
+"""Fig 6 — DPX latency across architectures (exp id F6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import run_experiment
+from repro.dpx import get_dpx_function, pack_s16x2
+
+
+def test_dpx_semantics_throughput(benchmark):
+    """Vectorised execution of the heaviest intrinsic over 64k lanes."""
+    f = get_dpx_function("__viaddmax_s16x2_relu")
+    rng = np.random.default_rng(0)
+    a = pack_s16x2(rng.integers(-100, 100, 65536),
+                   rng.integers(-100, 100, 65536))
+    b = pack_s16x2(rng.integers(-100, 100, 65536),
+                   rng.integers(-100, 100, 65536))
+    c = pack_s16x2(rng.integers(-100, 100, 65536),
+                   rng.integers(-100, 100, 65536))
+    out = benchmark(f, a, b, c)
+    assert out.shape == (65536,)
+
+
+def test_fig06_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig06_dpx_latency")
+    paper_artefact("fig06_dpx_latency")

@@ -1,0 +1,31 @@
+"""Fig 7 — DPX throughput + block sawtooth (exp id F7)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.dpx import DPX_FUNCTIONS, DpxTimingModel, block_sweep, \
+    get_dpx_function
+
+
+def test_throughput_all_functions_all_devices(benchmark):
+    models = [DpxTimingModel(get_device(d))
+              for d in ("A100", "RTX4090", "H800")]
+
+    def run():
+        return [m.throughput_gops(fn)
+                for m in models for fn in DPX_FUNCTIONS.values()]
+
+    vals = benchmark(run)
+    assert len(vals) == 3 * len(DPX_FUNCTIONS)
+
+
+def test_block_sweep_sawtooth(benchmark):
+    pts = benchmark(block_sweep, get_device("H800"),
+                    get_dpx_function("__vimax3_s32"), 3)
+    assert len(pts) >= 9
+
+
+def test_fig07_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig07_dpx_throughput")
+    paper_artefact("fig07_dpx_throughput")

@@ -1,0 +1,30 @@
+"""Fig 8 + §IV-E latency claim — DSM ring-based copy (exp ids F8, X1)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.dsm import RingCopyBenchmark, SmToSmNetwork
+
+
+def test_rbc_sweep(benchmark):
+    rbc = RingCopyBenchmark(get_device("H800"))
+    res = benchmark(rbc.sweep)
+    assert len(res) == 4 * 4 * 4
+
+
+def test_rbc_functional_ring(benchmark):
+    rbc = RingCopyBenchmark(get_device("H800"))
+    ok = benchmark(rbc.run_functional, 8, 64)
+    assert ok
+
+
+def test_dsm_latency_claim():
+    net = SmToSmNetwork(get_device("H800"))
+    assert net.latency_clk == 180.0
+    assert 0.31 <= net.latency_vs_l2 <= 0.33
+
+
+def test_fig08_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig08_dsm_rbc")
+    paper_artefact("fig08_dsm_rbc")

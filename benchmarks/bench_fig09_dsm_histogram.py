@@ -1,0 +1,28 @@
+"""Fig 9 — DSM histogram application (exp id F9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.dsm import DsmHistogram, HistogramConfig
+
+
+def test_histogram_functional(benchmark):
+    hist = DsmHistogram(get_device("H800"))
+    data = np.random.default_rng(0).integers(0, 1024, 5000)
+    cfg = HistogramConfig(1024, 4, 128)
+    counts = benchmark(hist.compute, data, cfg)
+    assert counts.sum() == 5000
+
+
+def test_histogram_timing_sweep(benchmark):
+    hist = DsmHistogram(get_device("H800"))
+    res = benchmark(hist.sweep)
+    assert len(res) == 5 * 4 * 2
+
+
+def test_fig09_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "fig09_dsm_histogram")
+    paper_artefact("fig09_dsm_histogram")

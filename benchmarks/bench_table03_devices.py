@@ -1,0 +1,10 @@
+"""Table III — device property comparison (exp id T3)."""
+
+from __future__ import annotations
+
+from repro.core import run_experiment
+
+
+def test_table03_devices(benchmark, paper_artefact):
+    benchmark(run_experiment, "table03_devices")
+    paper_artefact("table03_devices")

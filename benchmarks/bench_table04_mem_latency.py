@@ -1,0 +1,46 @@
+"""Table IV — P-chase memory latency (exp id T4).
+
+Benchmarks the actual pointer-chase through the cache state machines
+(the simulator's hot path) and regenerates the full table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.memory import PChase
+
+
+@pytest.mark.parametrize("device_name", ["RTX4090", "A100", "H800"])
+def test_pchase_l1(benchmark, device_name):
+    p = PChase(get_device(device_name))
+    res = benchmark(p.l1_latency, iters=2048)
+    assert res.hits_at_level == 1.0
+
+
+def test_pchase_l2_h800(benchmark):
+    p = PChase(get_device("H800"))
+    res = benchmark(p.l2_latency, array_kib=4096, iters=2048)
+    assert res.hits_at_level == 1.0
+
+
+def test_pchase_global_h800(benchmark, tiny_l2_h800):
+    p = PChase(tiny_l2_h800)
+    res = benchmark.pedantic(p.global_latency, kwargs={"iters": 2048},
+                             rounds=1, iterations=1)
+    assert res.hits_at_level > 0.99
+
+
+@pytest.fixture
+def tiny_l2_h800():
+    from dataclasses import replace
+    h = get_device("H800")
+    return h.with_overrides(cache=replace(h.cache, l2_size_kib=4096))
+
+
+def test_table04_artefact(benchmark, paper_artefact):
+    benchmark.pedantic(run_experiment, args=("table04_mem_latency",),
+                       rounds=1, iterations=1)
+    paper_artefact("table04_mem_latency")

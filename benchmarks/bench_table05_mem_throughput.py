@@ -1,0 +1,20 @@
+"""Table V — memory throughput at every level (exp id T5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.memory import measure_throughputs
+
+
+@pytest.mark.parametrize("device_name", ["RTX4090", "A100", "H800"])
+def test_throughput_model(benchmark, device_name):
+    out = benchmark(measure_throughputs, get_device(device_name))
+    assert out["Shared (byte/clk/SM)"] == 128.0
+
+
+def test_table05_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table05_mem_throughput")
+    paper_artefact("table05_mem_throughput")

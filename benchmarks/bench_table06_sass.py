@@ -1,0 +1,17 @@
+"""Table VI — PTX → SASS lowering on Hopper (exp id T6)."""
+
+from __future__ import annotations
+
+from repro.arch import Architecture
+from repro.core import run_experiment
+from repro.isa import sass_table
+
+
+def test_sass_lowering_pass(benchmark):
+    rows = benchmark(sass_table, Architecture.HOPPER)
+    assert len(rows) == 10
+
+
+def test_table06_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table06_sass")
+    paper_artefact("table06_sass")

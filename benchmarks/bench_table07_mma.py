@@ -1,0 +1,40 @@
+"""Table VII — mma dense/sparse latency & throughput (exp id T7).
+
+Also benchmarks the *functional* execution of an mma tile (the value
+path a GEMM built on this simulator would take).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.isa import MatrixShape, MmaInstruction
+from repro.isa.dtypes import DType
+from repro.tensorcore import mma_functional
+
+
+def test_mma_functional_tile(benchmark):
+    instr = MmaInstruction(DType.FP16, DType.FP32,
+                           MatrixShape(16, 8, 16))
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(16, 16))
+    b = rng.normal(size=(16, 8))
+    d = benchmark(mma_functional, instr, a, b)
+    assert d.shape == (16, 8)
+
+
+def test_mma_functional_fp16_accumulate(benchmark):
+    instr = MmaInstruction(DType.FP16, DType.FP16,
+                           MatrixShape(16, 8, 16))
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(16, 16))
+    b = rng.normal(size=(16, 8))
+    benchmark(mma_functional, instr, a, b)
+
+
+def test_table07_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table07_mma")
+    paper_artefact("table07_mma")

@@ -1,0 +1,43 @@
+"""Table VIII — dense wgmma SS/RS × zero/rand (exp id T8 + X2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.isa import WgmmaInstruction
+from repro.isa.dtypes import DType
+from repro.tensorcore import TensorCoreTimingModel, wgmma_functional
+
+
+def test_wgmma_functional_tile(benchmark):
+    instr = WgmmaInstruction(DType.FP16, DType.FP32, 64)
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(64, 16))
+    b = rng.normal(size=(16, 64))
+    d = benchmark(wgmma_functional, instr, a, b)
+    assert d.shape == (64, 64)
+
+
+def test_wgmma_timing_sweep(benchmark):
+    tm = TensorCoreTimingModel(get_device("H800"))
+
+    def sweep():
+        return [
+            tm.wgmma(WgmmaInstruction(ab, cd, 256)).throughput_tflops(
+                "rand")
+            for ab, cd in ((DType.FP16, DType.FP16),
+                           (DType.FP16, DType.FP32),
+                           (DType.TF32, DType.FP32),
+                           (DType.E4M3, DType.FP32),
+                           (DType.INT8, DType.INT32))
+        ]
+
+    vals = benchmark(sweep)
+    assert all(v > 0 for v in vals)
+
+
+def test_table08_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table08_wgmma_dense")
+    paper_artefact("table08_wgmma_dense")

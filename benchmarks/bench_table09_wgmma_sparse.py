@@ -1,0 +1,44 @@
+"""Table IX — sparse wgmma and the SS-mode penalty (exp id T9).
+
+Benchmarks the full sparse data path: prune → compress → decompress →
+functional sparse wgmma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import run_experiment
+from repro.isa import WgmmaInstruction
+from repro.isa.dtypes import DType
+from repro.tensorcore import (
+    compress_2_4,
+    decompress_2_4,
+    prune_2_4,
+    wgmma_functional,
+)
+
+
+def test_sparse_pipeline(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(64, 32))
+    b = rng.normal(size=(32, 64))
+    instr = WgmmaInstruction(DType.FP16, DType.FP32, 64, sparse=True)
+
+    def pipeline():
+        op = compress_2_4(prune_2_4(a))
+        return wgmma_functional(instr, decompress_2_4(op), b)
+
+    d = benchmark(pipeline)
+    assert d.shape == (64, 64)
+
+
+def test_compression_throughput(benchmark):
+    a = np.random.default_rng(1).normal(size=(256, 512))
+    op = benchmark(compress_2_4, a)
+    assert op.values.shape == (256, 256)
+
+
+def test_table09_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table09_wgmma_sparse")
+    paper_artefact("table09_wgmma_sparse")

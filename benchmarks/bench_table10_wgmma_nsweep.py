@@ -1,0 +1,34 @@
+"""Table X — wgmma throughput vs N (exp id T10)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.isa import OperandSource, WgmmaInstruction
+from repro.isa.dtypes import DType
+from repro.isa.mma import valid_wgmma_n
+from repro.tensorcore import TensorCoreTimingModel
+
+
+def test_full_n_sweep(benchmark):
+    """Every legal N × {dense, sparse} × {SS, RS}: 128 timings."""
+    tm = TensorCoreTimingModel(get_device("H800"))
+
+    def sweep():
+        out = []
+        for n in valid_wgmma_n():
+            for sparse in (False, True):
+                for src in OperandSource:
+                    t = tm.wgmma(WgmmaInstruction(
+                        DType.FP16, DType.FP32, n, sparse=sparse,
+                        a_source=src))
+                    out.append(t.throughput_tflops())
+        return out
+
+    vals = benchmark(sweep)
+    assert len(vals) == len(valid_wgmma_n()) * 4
+
+
+def test_table10_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table10_wgmma_nsweep")
+    paper_artefact("table10_wgmma_nsweep")

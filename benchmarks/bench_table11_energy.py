@@ -1,0 +1,45 @@
+"""Table XI — mma power and energy efficiency (exp id T11)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.isa import MatrixShape, MmaInstruction
+from repro.isa.dtypes import DType
+from repro.power import PowerModel
+from repro.tensorcore import TensorCoreTimingModel
+
+
+def test_power_report_grid(benchmark):
+    devices = [get_device(d) for d in ("A100", "H800", "RTX4090")]
+    grid = [
+        (DType.FP16, DType.FP16, (16, 8, 16)),
+        (DType.FP16, DType.FP32, (16, 8, 16)),
+        (DType.TF32, DType.FP32, (16, 8, 8)),
+        (DType.INT8, DType.INT32, (16, 8, 32)),
+    ]
+
+    def run():
+        reports = []
+        for dev in devices:
+            tm = TensorCoreTimingModel(dev)
+            pm = PowerModel(dev)
+            for ab, cd, shape in grid:
+                for sparse in (False, True):
+                    t = tm.mma(MmaInstruction(ab, cd,
+                                              MatrixShape(*shape),
+                                              sparse=sparse))
+                    reports.append(pm.report(
+                        op="mma", ab=ab, cd=cd,
+                        tflops=t.throughput_tflops("rand"),
+                        sparse=sparse))
+        return reports
+
+    reports = benchmark(run)
+    assert len(reports) == 24
+    assert all(r.power_watts > 100 for r in reports)
+
+
+def test_table11_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table11_energy")
+    paper_artefact("table11_energy")

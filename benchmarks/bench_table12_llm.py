@@ -1,0 +1,29 @@
+"""Table XII — LLM generation throughput (exp id T12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import get_device
+from repro.core import run_experiment
+from repro.te import LLAMA_MODELS, LlmInferenceModel, Precision
+
+
+@pytest.mark.parametrize("model_name", sorted(LLAMA_MODELS))
+def test_estimate_per_model(benchmark, model_name):
+    m = LlmInferenceModel(get_device("H800"))
+    est = benchmark(m.estimate, LLAMA_MODELS[model_name],
+                    Precision.BF16)
+    assert est.status == "ok"
+
+
+def test_workload_driven_generation(benchmark):
+    m = LlmInferenceModel(get_device("H800"))
+    est = benchmark(m.estimate_workload, LLAMA_MODELS["llama-3B"],
+                    Precision.BF16, n_requests=64)
+    assert est.tokens_per_second > 0
+
+
+def test_table12_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table12_llm")
+    paper_artefact("table12_llm")

@@ -1,0 +1,17 @@
+"""Table XIII — globalToShmemAsyncCopy on H800 (exp id T13)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.asynccopy import benchmark_table
+from repro.core import run_experiment
+
+
+def test_async_copy_grid_h800(benchmark):
+    rows = benchmark(benchmark_table, get_device("H800"))
+    assert len(rows) == 3
+
+
+def test_table13_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table13_async_h800")
+    paper_artefact("table13_async_h800")

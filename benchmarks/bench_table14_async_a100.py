@@ -1,0 +1,17 @@
+"""Table XIV — globalToShmemAsyncCopy on A100 (exp id T14)."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.asynccopy import benchmark_table
+from repro.core import run_experiment
+
+
+def test_async_copy_grid_a100(benchmark):
+    rows = benchmark(benchmark_table, get_device("A100"))
+    assert len(rows) == 3
+
+
+def test_table14_artefact(benchmark, paper_artefact):
+    benchmark(run_experiment, "table14_async_a100")
+    paper_artefact("table14_async_a100")

@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artefact through the experiment
+registry, asserts the paper's qualitative findings still hold, and
+prints the regenerated rows (visible with ``pytest -s`` or in the
+benchmark's captured output).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_experiment
+
+
+@pytest.fixture
+def paper_artefact():
+    """Run a registered experiment, verify its checks, return result."""
+
+    def _run(name: str):
+        res = run_experiment(name)
+        failed = [c for c in res.checks if not c.passed]
+        assert not failed, "\n".join(c.render() for c in failed)
+        print()
+        print(res.render())
+        return res
+
+    return _run

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Distributed-shared-memory histogram: a complete cluster application.
+
+Builds the paper's §III-D3(3) histogram on real simulated clusters —
+every atomic increment actually lands in (possibly remote) block
+shared memory through ``map_shared_rank`` — then sweeps cluster size ×
+bin count to find the configuration frontier of Fig 9.
+
+Run:  python examples/dsm_histogram_app.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import get_device
+from repro.dsm import DsmHistogram, HistogramConfig, SmToSmNetwork
+
+
+def functional_demo() -> None:
+    h800 = get_device("H800")
+    hist = DsmHistogram(h800)
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 512, 20_000)
+    cfg = HistogramConfig(nbins=512, cluster_size=4, block_threads=128)
+    counts = hist.compute(data, cfg)
+    assert np.array_equal(counts, np.bincount(data, minlength=512))
+    print(f"histogrammed {data.size} elements into {cfg.nbins} bins "
+          f"across a {cfg.cluster_size}-block cluster — verified "
+          "against np.bincount")
+    print(f"remote fraction of increments: "
+          f"{100 * cfg.remote_fraction:.0f}% "
+          f"(each crossing the {SmToSmNetwork(h800).latency_clk:.0f}-"
+          "cycle SM-to-SM network)")
+
+
+def tuning_sweep() -> None:
+    hist = DsmHistogram(get_device("H800"))
+    print("\nthroughput (G elements/s) vs Nbins × cluster size:")
+    for bt in (128, 512):
+        print(f"\nblock {bt} threads")
+        print(f"{'Nbins':>7}" + "".join(f"{f'CS={cs}':>9}"
+                                        for cs in (1, 2, 4, 8)))
+        for n in (256, 512, 1024, 2048, 4096):
+            row = f"{n:>7}"
+            for cs in (1, 2, 4, 8):
+                r = hist.measure(HistogramConfig(n, cs, bt))
+                row += f"{r.elements_per_second / 1e9:>9.1f}"
+            print(row)
+    print("\n→ big Nbins at CS=1 starve occupancy; clusters divide the "
+          "bins and restore it; oversized clusters drown in SM-to-SM "
+          "contention (Fig 9).")
+
+
+def limiter_map() -> None:
+    hist = DsmHistogram(get_device("H800"))
+    print("\nlimiting resource per configuration (block 512):")
+    for n in (1024, 4096):
+        for cs in (1, 8):
+            r = hist.measure(HistogramConfig(n, cs, 512))
+            print(f"  Nbins={n:<5} CS={cs}: {r.limiter} "
+                  f"({r.resident_blocks} resident blocks/SM)")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    tuning_sweep()
+    limiter_map()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Numeric behaviour of the modelled tensor cores + FP8 accuracy.
+
+Runs the Fasi-et-al-style probes (exact products, per-step rounding,
+subnormals, TF32 truncation, FP8 overflow split) against the functional
+engine, then measures what FP8 costs in accuracy through real layers —
+the companion to the paper's throughput-only FP8 story.
+
+Also demonstrates the microbenchmark methodology recovering cache
+geometry from latency alone (capacity / sector / associativity sweeps).
+
+Run:  python examples/numerics_probe.py
+"""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.memory.cache_study import CacheProbe
+from repro.te import Precision
+from repro.te.accuracy import layer_accuracy, linear_accuracy
+from repro.tensorcore.numerics_study import run_all_probes
+
+
+def numeric_probes() -> None:
+    print("=== Tensor-core numeric behaviour ===")
+    for r in run_all_probes():
+        mark = "ok " if r.passed else "BAD"
+        print(f"[{mark}] {r.name:<24} {r.behaviour:<42} {r.detail}")
+
+
+def accuracy_study() -> None:
+    print("\n=== What FP8 costs in accuracy (te.Linear 256x256) ===")
+    for rep in linear_accuracy():
+        print(f"  {rep.precision.name:<5} rel RMS {rep.rel_rms:.2e}  "
+              f"rel max {rep.rel_max:.2e}")
+    print("\nfull TransformerLayer (FP8 Linears only — norms and "
+          "attention stay high precision):")
+    out = layer_accuracy()
+    rep = out[Precision.FP8]
+    print(f"  FP8 layer output error: rel RMS {rep.rel_rms:.2e}")
+
+
+def cache_detection() -> None:
+    print("\n=== Detecting H800 cache geometry from latency alone ===")
+    probe = CacheProbe(get_device("H800"))
+    params = probe.detect()
+    geo = probe.device.cache
+    print(f"  L1 capacity : detected {params.l1_capacity_bytes // 1024}"
+          f" KiB (configured {geo.l1_size_kib} KiB)")
+    print(f"  fill sector : detected {params.l1_sector_bytes} B "
+          f"(configured {geo.sector_bytes} B)")
+    print(f"  L1 ways     : detected {params.l1_ways} "
+          f"(configured {geo.l1_associativity})")
+
+
+if __name__ == "__main__":
+    numeric_probes()
+    accuracy_study()
+    cache_detection()

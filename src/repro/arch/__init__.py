@@ -1,0 +1,46 @@
+"""Device architecture registry.
+
+This subpackage holds the architectural ground truth the rest of the
+simulator derives behaviour from: SM counts, clock domains, cache
+geometry, per-unit widths and the feature matrix that distinguishes
+Ampere, Ada Lovelace and Hopper (Table III of the paper).
+
+Only *primitive* quantities live here — published spec-sheet values and
+single-number microbenchmark calibrations (e.g. an L1 hit latency).
+Composite results (sweep shapes, ratios, crossovers) are computed by the
+subsystem models, never stored.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    Architecture,
+    CacheGeometry,
+    ClockDomain,
+    DeviceSpec,
+    DramSpec,
+    MemoryLatencies,
+    MemoryWidths,
+    TensorCoreSpec,
+)
+from repro.arch.registry import (
+    get_device,
+    list_devices,
+    register_device,
+    DEVICES,
+)
+
+__all__ = [
+    "Architecture",
+    "CacheGeometry",
+    "ClockDomain",
+    "DeviceSpec",
+    "DramSpec",
+    "MemoryLatencies",
+    "MemoryWidths",
+    "TensorCoreSpec",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "DEVICES",
+]

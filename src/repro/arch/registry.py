@@ -1,0 +1,253 @@
+"""Built-in device presets and the device registry.
+
+The three presets mirror the paper's testbed (Table III):
+
+* ``A100``  — Nvidia A100 PCIe 40 GB (Ampere, sm_80)
+* ``RTX4090`` — Nvidia GeForce RTX 4090 (Ada Lovelace, sm_89)
+* ``H800``  — Nvidia H800 PCIe 80 GB (Hopper, sm_90)
+
+Primitive calibration values (hit latencies, unit widths) come from the
+paper's own single-number measurements and public spec sheets; see
+DESIGN.md §6 for the parameter-vs-derived contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.specs import (
+    Architecture,
+    CacheGeometry,
+    ClockDomain,
+    DeviceSpec,
+    DramSpec,
+    MemoryLatencies,
+    MemoryWidths,
+    TensorCoreSpec,
+)
+
+DEVICES: Dict[str, DeviceSpec] = {}
+
+
+def register_device(spec: DeviceSpec, *, overwrite: bool = False) -> None:
+    """Add a device to the registry.
+
+    Third-party code can register additional GPUs (e.g. an H100 SXM
+    variant) and run every experiment against them.
+    """
+    key = spec.name.upper()
+    if key in DEVICES and not overwrite:
+        raise ValueError(f"device {spec.name!r} is already registered")
+    DEVICES[key] = spec
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by (case-insensitive) name."""
+    try:
+        return DEVICES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {list_devices()}"
+        ) from None
+
+
+def list_devices() -> List[str]:
+    return sorted(DEVICES)
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+_A100 = DeviceSpec(
+    name="A100",
+    marketing_name="A100 PCIe",
+    architecture=Architecture.AMPERE,
+    num_sms=108,
+    cuda_cores_per_sm=64,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    clocks=ClockDomain(
+        base_sm_mhz=765.0,
+        boost_sm_mhz=1410.0,
+        observed_sm_mhz=1410.0,
+        memory_mhz=1215.0,
+    ),
+    cache=CacheGeometry(
+        l1_size_kib=192,
+        shared_max_kib=164,
+        l2_size_kib=40 * 1024,
+        l2_partitions=2,
+    ),
+    mem_latencies=MemoryLatencies(
+        shared_clk=29.0,
+        l1_hit_clk=37.9,
+        l2_hit_clk=261.5,
+        dram_clk=204.8,
+    ),
+    mem_widths=MemoryWidths(
+        l1_bytes_per_clk_sm=128.0,
+        smem_bytes_per_clk_sm=128.0,
+        l2_bytes_per_clk=2050.0,
+        lsu_issue_per_clk=0.78,
+        # A100 keeps full-rate FP64 ALUs (1:2 of FP32) so the FP64
+        # dependent-add chain never bottlenecks the cache probe.
+        fp64_add_bytes_per_clk_sm=256.0,
+    ),
+    dram=DramSpec(
+        size_gib=40,
+        mem_type="HBM2e",
+        bus_width_bits=5120,
+        peak_bandwidth_gbps=1555.0,
+        refresh_overhead=0.035,
+        rw_turnaround_penalty=0.112,
+    ),
+    tensor_core=TensorCoreSpec(
+        count=432,
+        generation=3,
+        dense_peak_tflops={
+            "fp16": 312.0,
+            "bf16": 312.0,
+            "tf32": 156.0,
+            "fp64": 19.5,
+            "int8": 624.0,
+            "int4": 1248.0,
+            "binary": 4992.0,
+        },
+    ),
+    power_cap_watts=250.0,
+    max_cluster_size=1,
+)
+
+_RTX4090 = DeviceSpec(
+    name="RTX4090",
+    marketing_name="RTX4090",
+    architecture=Architecture.ADA,
+    num_sms=128,
+    cuda_cores_per_sm=128,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=24,
+    registers_per_sm=65536,
+    clocks=ClockDomain(
+        base_sm_mhz=2235.0,
+        boost_sm_mhz=2520.0,
+        # The paper observed the card clocking above its official boost,
+        # which is why measured TC throughput exceeds the official peak.
+        observed_sm_mhz=2730.0,
+        memory_mhz=10501.0,
+    ),
+    cache=CacheGeometry(
+        l1_size_kib=128,
+        shared_max_kib=100,
+        l2_size_kib=72 * 1024,
+        l2_partitions=1,
+    ),
+    mem_latencies=MemoryLatencies(
+        shared_clk=30.1,
+        l1_hit_clk=43.4,
+        l2_hit_clk=273.0,
+        # GDDR6X round-trip adds more cycles than HBM2e.
+        dram_clk=268.5,
+    ),
+    mem_widths=MemoryWidths(
+        l1_bytes_per_clk_sm=128.0,
+        smem_bytes_per_clk_sm=128.0,
+        l2_bytes_per_clk=1750.0,
+        lsu_issue_per_clk=0.50,
+        # Consumer Ada runs FP64 at 1:64 rate → 2 FMA/clk/SM; the
+        # dependent add chain moves 16 B of loaded data per clock.
+        fp64_add_bytes_per_clk_sm=16.0,
+    ),
+    dram=DramSpec(
+        size_gib=24,
+        mem_type="GDDR6X",
+        bus_width_bits=384,
+        peak_bandwidth_gbps=1008.0,
+        refresh_overhead=0.025,
+        rw_turnaround_penalty=0.097,
+    ),
+    tensor_core=TensorCoreSpec(
+        count=512,
+        generation=4,
+        dense_peak_tflops={
+            "fp16": 330.3,
+            "bf16": 330.3,
+            "tf32": 82.6,
+            "fp8": 660.6,
+            "int8": 660.6,
+            "int4": 1321.2,
+            "binary": 5284.8,
+        },
+    ),
+    power_cap_watts=450.0,
+    max_cluster_size=1,
+)
+
+_H800 = DeviceSpec(
+    name="H800",
+    marketing_name="H800 PCIe",
+    architecture=Architecture.HOPPER,
+    num_sms=114,
+    cuda_cores_per_sm=128,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    clocks=ClockDomain(
+        base_sm_mhz=1095.0,
+        boost_sm_mhz=1755.0,
+        observed_sm_mhz=1755.0,
+        memory_mhz=1593.0,
+    ),
+    cache=CacheGeometry(
+        l1_size_kib=256,
+        shared_max_kib=228,
+        l2_size_kib=50 * 1024,
+        l2_partitions=2,
+    ),
+    mem_latencies=MemoryLatencies(
+        shared_clk=29.0,
+        l1_hit_clk=40.7,
+        l2_hit_clk=263.0,
+        dram_clk=215.8,
+        dsm_remote_clk=180.0,
+    ),
+    mem_widths=MemoryWidths(
+        l1_bytes_per_clk_sm=128.0,
+        smem_bytes_per_clk_sm=128.0,
+        l2_bytes_per_clk=4520.0,
+        lsu_issue_per_clk=0.98,
+        # The H800 ships with FP64 throughput fused down to ~1 TFLOPS;
+        # like Ada, the FP64 add chain caps the FP64 cache probe.
+        fp64_add_bytes_per_clk_sm=16.0,
+    ),
+    dram=DramSpec(
+        size_gib=80,
+        mem_type="HBM2e",
+        bus_width_bits=5120,
+        peak_bandwidth_gbps=2039.0,
+        refresh_overhead=0.03,
+        rw_turnaround_penalty=0.106,
+    ),
+    tensor_core=TensorCoreSpec(
+        count=456,
+        generation=4,
+        dense_peak_tflops={
+            "fp16": 756.5,
+            "bf16": 756.5,
+            "tf32": 378.0,
+            "fp8": 1513.0,
+            "int8": 1513.0,
+            "fp64": 1.0,
+            "binary": 12104.0,
+        },
+    ),
+    power_cap_watts=350.0,
+    max_cluster_size=16,
+)
+
+for _spec in (_A100, _RTX4090, _H800):
+    register_device(_spec)
+
+#: The three devices the paper benchmarks, in its presentation order.
+PAPER_DEVICES = ("RTX4090", "A100", "H800")

@@ -1,0 +1,41 @@
+"""Asynchronous data movement (paper §III-D2, Tables XIII/XIV).
+
+Models the ``globalToShmemAsyncCopy`` CUDA-sample experiment: a tiled
+matrix multiplication whose global→shared tile copies are either
+
+* **SyncShare** — classic ``ld.global`` + ``st.shared`` with a barrier:
+  the tile's DRAM round-trip latency sits serially inside every step,
+* **AsyncPipe** — ``cp.async`` with a two-stage (double-buffered)
+  pipeline: the next tile's copy overlaps the current tile's compute,
+  hiding the latency whenever enough compute (or enough resident
+  warps) covers it.
+
+The model derives each configuration's throughput from four mechanisms:
+the shared-memory-bound inner product (2 × 4 B shared loads per FMA —
+which caps *any* variant at 32 FLOP/clk/SM), the DRAM bandwidth each
+step's tile traffic consumes, the occupancy-limited resident block
+count, and the exposed-latency term that the pipeline exists to remove.
+
+:mod:`repro.asynccopy.tma` adds the Hopper TMA bulk-copy cost model.
+"""
+
+from __future__ import annotations
+
+from repro.asynccopy.matmul_pipeline import (
+    AsyncCopyConfig,
+    CopyVariant,
+    StepBreakdown,
+    TiledMatmulModel,
+    benchmark_table,
+)
+from repro.asynccopy.tma import TmaModel, TmaTransfer
+
+__all__ = [
+    "CopyVariant",
+    "AsyncCopyConfig",
+    "StepBreakdown",
+    "TiledMatmulModel",
+    "benchmark_table",
+    "TmaModel",
+    "TmaTransfer",
+]

@@ -1,0 +1,123 @@
+"""``hopperdissect`` command-line interface.
+
+Subcommands::
+
+    hopperdissect list                 # all experiments
+    hopperdissect run table07_mma      # one experiment + checks
+    hopperdissect run --all            # everything
+    hopperdissect devices              # Table III
+    hopperdissect report -o EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.arch import get_device, list_devices
+from repro.core import (
+    get_experiment,
+    list_experiments,
+    run_all,
+    run_experiment,
+)
+from repro.core.report import experiments_markdown, summary_line
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    for name in list_experiments():
+        exp = get_experiment(name)
+        print(f"{name:28s} {exp.paper_ref:12s} {exp.description}")
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    for name in list_devices():
+        d = get_device(name)
+        print(f"\n{name}")
+        for k, v in d.table3_row().items():
+            print(f"  {k}: {v}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list_experiments() if args.all else args.experiments
+    if not names:
+        print("nothing to run: name experiments or pass --all",
+              file=sys.stderr)
+        return 2
+    failed = 0
+    for name in names:
+        res = run_experiment(name)
+        print(res.render())
+        print()
+        failed += sum(1 for c in res.checks if not c.passed)
+    if failed:
+        print(f"{failed} finding check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fidelity(_args) -> int:
+    from repro.core.fidelity import fidelity_report
+    print(fidelity_report().render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    results = run_all()
+    md = experiments_markdown(results)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(md)
+        print(f"wrote {args.output}: {summary_line(results)}")
+    else:
+        print(md)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="hopperdissect",
+        description=(
+            "Simulator-backed reproduction of 'Benchmarking and "
+            "Dissecting the Nvidia Hopper GPU Architecture'"
+        ),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        fn=_cmd_list)
+    sub.add_parser("devices", help="show device specs").set_defaults(
+        fn=_cmd_devices)
+
+    run_p = sub.add_parser("run", help="run experiments")
+    run_p.add_argument("experiments", nargs="*",
+                       help="experiment names (see `list`)")
+    run_p.add_argument("--all", action="store_true",
+                       help="run every experiment")
+    run_p.set_defaults(fn=_cmd_run)
+
+    sub.add_parser(
+        "fidelity",
+        help="score the simulator against the paper's absolute numbers",
+    ).set_defaults(fn=_cmd_fidelity)
+
+    rep_p = sub.add_parser("report",
+                           help="generate the EXPERIMENTS.md report")
+    rep_p.add_argument("-o", "--output", default=None,
+                       help="output path (default: stdout)")
+    rep_p.set_defaults(fn=_cmd_report)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Shape checks — machine-checkable forms of the paper's findings.
+
+Rather than asserting absolute numbers (our substrate is a simulator,
+not the authors' testbed), each experiment verifies the *qualitative*
+result: who wins, by roughly what factor, where a crossover falls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Check", "approx", "ordered", "ratio_between"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified (or falsified) claim."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        extra = f"  [{self.detail}]" if self.detail else ""
+        return f"[{mark}] {self.description}{extra}"
+
+
+def approx(description: str, value: float, expected: float,
+           rel_tol: float = 0.25) -> Check:
+    """``value`` within ``rel_tol`` of ``expected``."""
+    if expected == 0:
+        ok = abs(value) < 1e-12
+    else:
+        ok = abs(value - expected) / abs(expected) <= rel_tol
+    return Check(
+        description, ok,
+        detail=f"got {value:.4g}, expected {expected:.4g} ±{rel_tol:.0%}",
+    )
+
+
+def ordered(description: str, values: Sequence[float],
+            *, strict: bool = False, descending: bool = False) -> Check:
+    """Values are monotonically ordered."""
+    vs = list(values)
+    if descending:
+        vs = vs[::-1]
+    pairs = zip(vs, vs[1:])
+    ok = all((a < b) if strict else (a <= b) for a, b in pairs)
+    return Check(description, ok,
+                 detail=", ".join(f"{v:.4g}" for v in values))
+
+
+def ratio_between(description: str, numerator: float,
+                  denominator: float, lo: float, hi: float) -> Check:
+    """``numerator / denominator`` lies in [lo, hi]."""
+    if denominator == 0:
+        return Check(description, False, detail="zero denominator")
+    r = numerator / denominator
+    return Check(description, lo <= r <= hi,
+                 detail=f"ratio {r:.3g}, expected [{lo:g}, {hi:g}]")

@@ -1,0 +1,19 @@
+"""Experiment definitions, one module per paper section.
+
+Importing this package registers every experiment with
+:mod:`repro.core.registry`.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiments import (  # noqa: F401
+    devices,
+    memory,
+    tensorcore_exp,
+    te_exp,
+    features,
+    extensions,
+)
+
+__all__ = ["devices", "memory", "tensorcore_exp", "te_exp", "features",
+           "extensions"]

@@ -1,0 +1,214 @@
+"""The paper's reported numbers, verbatim.
+
+Reference values transcribed from the evaluation tables of
+*Benchmarking and Dissecting the Nvidia Hopper GPU Architecture*
+(IPDPS 2024).  Used by :mod:`repro.core.fidelity` to score the
+simulator's absolute agreement and by tests as ground truth.
+
+Only *published measurements* live here — the simulator never reads
+this module to produce a result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table IV — latency cycles per level per device
+TABLE4_LATENCY: Dict[str, Dict[str, float]] = {
+    "RTX4090": {"L1 Cache": 43.4, "Shared": 30.1, "L2 Cache": 273.0,
+                "Global": 541.5},
+    "A100": {"L1 Cache": 37.9, "Shared": 29.0, "L2 Cache": 261.5,
+             "Global": 466.3},
+    "H800": {"L1 Cache": 40.7, "Shared": 29.0, "L2 Cache": 263.0,
+             "Global": 478.8},
+}
+
+#: Table V — throughput per level/pattern (units as in the paper)
+TABLE5_THROUGHPUT: Dict[str, Dict[str, float]] = {
+    "RTX4090": {
+        "L1 FP32 (byte/clk/SM)": 63.7, "L1 FP64 (byte/clk/SM)": 13.3,
+        "L1 FP32.v4 (byte/clk/SM)": 121.2,
+        "L2 FP32 (byte/clk)": 1622.2, "L2 FP64 (byte/clk)": 1500.8,
+        "L2 FP32.v4 (byte/clk)": 1708.0,
+        "Shared (byte/clk/SM)": 127.9, "Global (GB/s)": 929.8,
+        "L2 vs. Global": 4.67,
+    },
+    "A100": {
+        "L1 FP32 (byte/clk/SM)": 99.5, "L1 FP64 (byte/clk/SM)": 120.0,
+        "L1 FP32.v4 (byte/clk/SM)": 106.8,
+        "L2 FP32 (byte/clk)": 1853.7, "L2 FP64 (byte/clk)": 1990.4,
+        "L2 FP32.v4 (byte/clk)": 2007.9,
+        "Shared (byte/clk/SM)": 128.0, "Global (GB/s)": 1407.2,
+        "L2 vs. Global": 2.01,
+    },
+    "H800": {
+        "L1 FP32 (byte/clk/SM)": 125.8, "L1 FP64 (byte/clk/SM)": 16.0,
+        "L1 FP32.v4 (byte/clk/SM)": 124.1,
+        "L2 FP32 (byte/clk)": 4472.3, "L2 FP64 (byte/clk)": 1817.3,
+        "L2 FP32.v4 (byte/clk)": 3942.4,
+        "Shared (byte/clk/SM)": 127.9, "Global (GB/s)": 1861.5,
+        "L2 vs. Global": 4.23,
+    },
+}
+
+#: Table VII — (device, ab, cd, shape) -> (lat, dense thpt, sparse thpt)
+#: shapes keyed as "m16n8k16" strings; types by paper label.
+TABLE7_MMA: Dict[Tuple[str, str, str, str],
+                 Tuple[float, float, float]] = {
+    ("A100", "FP16", "FP16", "m16n8k8"): (17.7, 310.0, 408.4),
+    ("A100", "FP16", "FP16", "m16n8k16"): (24.6, 310.6, 622.8),
+    ("A100", "FP16", "FP32", "m16n8k8"): (17.5, 299.6, 394.1),
+    ("A100", "FP16", "FP32", "m16n8k16"): (26.0, 303.4, 603.3),
+    ("A100", "TF32", "FP32", "m16n8k4"): (17.8, 149.5, 196.8),
+    ("A100", "TF32", "FP32", "m16n8k8"): (26.3, 151.5, 301.5),
+    ("A100", "INT8", "INT32", "m16n8k16"): (17.6, 594.8, 788.5),
+    ("A100", "INT8", "INT32", "m16n8k32"): (26.0, 607.6, 1210.0),
+    ("RTX4090", "FP16", "FP16", "m16n8k8"): (17.7, 355.3, 713.2),
+    ("RTX4090", "FP16", "FP16", "m16n8k16"): (24.6, 357.6, 711.8),
+    ("RTX4090", "FP16", "FP32", "m16n8k8"): (18.8, 177.8, 357.4),
+    ("RTX4090", "FP16", "FP32", "m16n8k16"): (33.0, 178.9, 356.0),
+    ("RTX4090", "TF32", "FP32", "m16n8k4"): (19.2, 89.0, 178.0),
+    ("RTX4090", "TF32", "FP32", "m16n8k8"): (33.4, 89.0, 178.7),
+    ("RTX4090", "INT8", "INT32", "m16n8k16"): (17.3, 707.6, 1412.0),
+    ("RTX4090", "INT8", "INT32", "m16n8k32"): (24.5, 711.7, 1423.0),
+    ("H800", "FP16", "FP16", "m16n8k8"): (16.0, 368.6, 493.8),
+    ("H800", "FP16", "FP16", "m16n8k16"): (24.1, 494.4, 722.8),
+    ("H800", "FP16", "FP32", "m16n8k8"): (16.0, 363.7, 488.7),
+    ("H800", "FP16", "FP32", "m16n8k16"): (24.1, 490.7, 721.8),
+    ("H800", "TF32", "FP32", "m16n8k4"): (16.5, 180.6, 240.7),
+    ("H800", "TF32", "FP32", "m16n8k8"): (24.5, 246.4, 363.3),
+    ("H800", "INT8", "INT32", "m16n8k16"): (16.1, 730.3, 970.0),
+    ("H800", "INT8", "INT32", "m16n8k32"): (24.0, 977.9, 1435.0),
+}
+
+#: Table VIII — dense wgmma: (ab, cd) ->
+#:   (ss_lat, ss_zero, rs_lat, rs_zero, ss_rand, rs_rand)
+TABLE8_WGMMA_DENSE: Dict[Tuple[str, str],
+                         Tuple[float, ...]] = {
+    ("FP16", "FP16"): (128.0, 729.3, 128.0, 729.2, 704.5, 703.7),
+    ("FP16", "FP32"): (128.0, 728.5, 128.0, 731.9, 665.4, 667.5),
+    ("TF32", "FP32"): (128.0, 364.4, 128.0, 364.6, 357.1, 357.3),
+    ("FP8", "FP16"): (128.0, 1448.4, 128.0, 1448.0, 1439.2, 1440.3),
+    ("FP8", "FP32"): (128.0, 1447.5, 128.0, 1455.0, 1417.2, 1419.8),
+    ("INT8", "INT32"): (128.0, 1448.7, 128.0, 1447.9, 1442.3, 1442.2),
+}
+
+#: Table IX — sparse wgmma, same layout
+TABLE9_WGMMA_SPARSE: Dict[Tuple[str, str],
+                          Tuple[float, ...]] = {
+    ("FP16", "FP16"): (144.0, 1308.0, 128.0, 1472.0, 1257.8, 1362.3),
+    ("FP16", "FP32"): (144.0, 1312.3, 128.0, 1476.2, 1194.3, 1277.5),
+    ("TF32", "FP32"): (144.0, 656.8, 128.0, 735.4, 644.9, 721.7),
+    ("FP8", "FP16"): (144.0, 2619.9, 128.0, 2945.0, 2588.6, 2782.4),
+    ("FP8", "FP32"): (144.0, 2622.8, 128.0, 2931.0, 2588.7, 2722.3),
+    ("INT8", "INT32"): (144.0, 2612.4, 128.0, 2933.0, 2593.9, 2898.3),
+}
+
+#: Table X — N sweep (fp16→fp32): N ->
+#:   (dss_lat, dss, drs_lat, drs, sss_lat, sss, srs_lat, srs)  [Zero]
+TABLE10_NSWEEP: Dict[int, Tuple[float, ...]] = {
+    256: (128.0, 728.5, 128.0, 731.9, 144.0, 1312.3, 128.0, 1476.2),
+    128: (64.0, 728.5, 64.0, 725.4, 80.0, 1176.4, 64.0, 1463.3),
+    64: (32.0, 719.6, 32.0, 719.7, 48.0, 977.4, 32.0, 1450.1),
+    32: (24.0, 477.3, 16.0, 710.3, 32.0, 727.1, 18.0, 1272.4),
+    16: (20.0, 287.0, 13.0, 434.2, 24.0, 482.3, 18.0, 638.6),
+    8: (18.0, 158.2, 13.0, 216.7, 20.0, 289.0, 16.0, 359.4),
+}
+
+#: Table XI — (device, ab, cd, D/S) -> (watts, TFLOPS/W)
+TABLE11_ENERGY: Dict[Tuple[str, str, str, str],
+                     Tuple[float, float]] = {
+    ("A100", "FP16", "FP16", "D"): (173.4, 1.79),
+    ("A100", "FP16", "FP16", "S"): (198.8, 3.13),
+    ("A100", "FP16", "FP32", "D"): (188.5, 1.61),
+    ("A100", "FP16", "FP32", "S"): (216.1, 2.79),
+    ("A100", "TF32", "FP32", "D"): (214.7, 0.71),
+    ("A100", "TF32", "FP32", "S"): (235.7, 1.28),
+    ("A100", "INT8", "INT32", "D"): (178.4, 3.41),
+    ("A100", "INT8", "INT32", "S"): (193.9, 6.24),
+    ("H800", "FP16", "FP16", "D"): (188.6, 2.62),
+    ("H800", "FP16", "FP16", "S"): (187.2, 3.86),
+    ("H800", "FP16", "FP32", "D"): (196.7, 2.49),
+    ("H800", "FP16", "FP32", "S"): (194.9, 3.70),
+    ("H800", "TF32", "FP32", "D"): (254.9, 0.97),
+    ("H800", "TF32", "FP32", "S"): (232.5, 1.56),
+    ("H800", "INT8", "INT32", "D"): (165.3, 5.92),
+    ("H800", "INT8", "INT32", "S"): (163.3, 8.79),
+    ("RTX4090", "FP16", "FP16", "D"): (189.1, 1.89),
+    ("RTX4090", "FP16", "FP16", "S"): (214.0, 3.33),
+    ("RTX4090", "FP16", "FP32", "D"): (154.1, 1.16),
+    ("RTX4090", "FP16", "FP32", "S"): (165.9, 2.15),
+    ("RTX4090", "TF32", "FP32", "D"): (174.3, 0.51),
+    ("RTX4090", "TF32", "FP32", "S"): (187.9, 0.95),
+    ("RTX4090", "INT8", "INT32", "D"): (201.4, 3.53),
+    ("RTX4090", "INT8", "INT32", "S"): (219.8, 6.47),
+}
+
+#: Table XII — (device, model) -> {precision: tokens/s or None(OOM/-)}
+TABLE12_LLM: Dict[Tuple[str, str], Dict[str, float | None]] = {
+    ("RTX4090", "llama-3B"): {"FP32": 414.08, "BF16": 425.19,
+                              "FP8": 429.31},
+    ("RTX4090", "llama-2-7B"): {"FP32": None, "BF16": 350.69,
+                                "FP8": None},
+    ("A100", "llama-3B"): {"FP32": 674.50, "BF16": 670.87, "FP8": None},
+    ("A100", "llama-2-7B"): {"FP32": 400.88, "BF16": 548.57,
+                             "FP8": None},
+    ("A100", "llama-2-13B"): {"FP32": None, "BF16": 420.81,
+                              "FP8": None},
+    ("H800", "llama-3B"): {"FP32": 679.45, "BF16": 624.10,
+                           "FP8": 537.92},
+    ("H800", "llama-2-7B"): {"FP32": 568.91, "BF16": 502.65,
+                             "FP8": 474.42},
+    ("H800", "llama-2-13B"): {"FP32": 357.57, "BF16": 399.38,
+                              "FP8": 356.11},
+}
+
+#: Tables XIII/XIV — device -> block -> variant -> 6 blocks/SM values
+TABLE13_14_ASYNC: Dict[str, Dict[str, Dict[str, Tuple[float, ...]]]] = {
+    "H800": {
+        "8x8": {
+            "AsyncPipe": (516.69, 998.45, 1808.5, 2931.29, 3315.38,
+                          3615.99),
+            "SyncShare": (327.86, 646.58, 1191.48, 2117.56, 2736.06,
+                          2861.75),
+        },
+        "16x16": {
+            "AsyncPipe": (2650.06, 4531.02, 5038.26, 5510.76, 5728.71,
+                          5929.61),
+            "SyncShare": (2372.41, 3821.71, 4713.84, 5147.53, 5309.23,
+                          5512.41),
+        },
+        "32x32": {
+            "AsyncPipe": (5570.17, 6112.92, 6372.73, 6496.21, 6592.66,
+                          6592.87),
+            "SyncShare": (5782.03, 6280.8, 6465.53, 6600.58, 6649.46,
+                          6631.11),
+        },
+    },
+    "A100": {
+        "8x8": {
+            "AsyncPipe": (379.03, 798.5, 1544.15, 2429.93, 2825.64,
+                          2888.84),
+            "SyncShare": (379.03, 742.93, 1325.88, 1982.38, 2112.6,
+                          2256.17),
+        },
+        "16x16": {
+            "AsyncPipe": (2198.21, 2566.83, 3821.09, 4205.72, 4413.69,
+                          4527.82),
+            "SyncShare": (1754.73, 2974.9, 3724.42, 4015.96, 4207.57,
+                          4316.63),
+        },
+        "32x32": {
+            "AsyncPipe": (4453.52, 4863.73, 5020.21, 5106.74, 5150.78,
+                          5129.68),
+            "SyncShare": (4428.55, 4917.25, 5024.77, 5025.45, 4996.66,
+                          5028.47),
+        },
+    },
+}
+
+#: §IV-E scalar claims
+DSM_LATENCY_CLK = 180.0
+DSM_LATENCY_VS_L2 = 0.32
+DSM_PEAK_TBPS_CS2 = 3.27
+DSM_PEAK_TBPS_CS4 = 2.65

@@ -1,0 +1,96 @@
+"""The experiment registry.
+
+An :class:`Experiment` bundles an artefact id (``table04_mem_latency``),
+the paper reference, a builder that produces the result table and the
+shape checks that verify the paper's findings on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.checks import Check
+from repro.core.tables import Table
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "run_all",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment: "Experiment"
+    table: Table
+    checks: Tuple[Check, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        parts = [self.table.render(), ""]
+        parts += [c.render() for c in self.checks]
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper artefact reproduction."""
+
+    name: str
+    paper_ref: str        # e.g. "Table IV" / "Fig. 8"
+    description: str
+    builder: Callable[[], Tuple[Table, List[Check]]]
+
+    def run(self) -> ExperimentResult:
+        table, checks = self.builder()
+        return ExperimentResult(self, table, tuple(checks))
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(name: str, paper_ref: str, description: str):
+    """Decorator registering a builder function as an experiment."""
+
+    def deco(fn: Callable[[], Tuple[Table, List[Check]]]):
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        _REGISTRY[name] = Experiment(
+            name=name, paper_ref=paper_ref,
+            description=description, builder=fn,
+        )
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {list_experiments()}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    return get_experiment(name).run()
+
+
+def run_all() -> Dict[str, ExperimentResult]:
+    """Run every registered experiment (the EXPERIMENTS.md generator)."""
+    return {name: run_experiment(name) for name in list_experiments()}

@@ -1,0 +1,42 @@
+"""Dynamic-programming algorithms on DPX intrinsics.
+
+The application layer the paper's DPX section motivates (§III-D1):
+genomics alignment and graph DP whose inner loops are exactly the
+fused min/max patterns DPX accelerates.  Every kernel here
+
+* computes its recurrence *through* :mod:`repro.dpx` intrinsics
+  (vectorised along the anti-diagonal / row axis, the way a GPU kernel
+  parallelises it),
+* counts the DPX calls it issues, and
+* prices itself on any device via the DPX timing model — giving the
+  end-to-end speedup story (Hopper hardware DPX vs emulation) at the
+  algorithm level rather than the instruction level.
+
+Contents:
+
+* :class:`SmithWaterman` / :class:`NeedlemanWunsch` — local/global
+  sequence alignment (``__viaddmax_s32[_relu]`` inner loop),
+* :class:`FloydWarshall` — all-pairs shortest paths
+  (``__viaddmin_s32`` inner loop),
+* :func:`estimate_kernel_time` — DPX-call-count × device throughput.
+"""
+
+from __future__ import annotations
+
+from repro.dp.alignment import (
+    AlignmentResult,
+    NeedlemanWunsch,
+    SmithWaterman,
+)
+from repro.dp.graph import FloydWarshall, ShortestPathResult
+from repro.dp.cost import DpKernelEstimate, estimate_kernel_time
+
+__all__ = [
+    "SmithWaterman",
+    "NeedlemanWunsch",
+    "AlignmentResult",
+    "FloydWarshall",
+    "ShortestPathResult",
+    "DpKernelEstimate",
+    "estimate_kernel_time",
+]

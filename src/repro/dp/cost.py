@@ -1,0 +1,57 @@
+"""Kernel-level DP cost estimation.
+
+Translates a DP kernel's DPX-call count into estimated GPU time using
+the per-device DPX throughput model — the algorithm-level view of
+Fig 7's instruction-level numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import DeviceSpec
+from repro.dpx import DpxTimingModel, get_dpx_function
+from repro.dpx.functions import DpxFunction
+
+__all__ = ["DpKernelEstimate", "estimate_kernel_time"]
+
+
+@dataclass(frozen=True)
+class DpKernelEstimate:
+    """Estimated execution of one DP kernel on one device."""
+
+    device: str
+    dpx_calls: int
+    hardware_dpx: bool
+    seconds: float
+
+    @property
+    def calls_per_second(self) -> float:
+        return self.dpx_calls / self.seconds if self.seconds else 0.0
+
+
+def estimate_kernel_time(
+    device: DeviceSpec,
+    dpx_calls: int,
+    *,
+    function_name: str = "__viaddmax_s32_relu",
+    utilization: float = 0.75,
+) -> DpKernelEstimate:
+    """Estimate a DP kernel dominated by one DPX intrinsic.
+
+    ``utilization`` discounts peak DPX throughput for the wavefront's
+    ramp-up/ramp-down (short anti-diagonals under-fill the machine).
+    """
+    if dpx_calls < 0:
+        raise ValueError("dpx_calls must be non-negative")
+    if not 0 < utilization <= 1:
+        raise ValueError("utilization must be in (0, 1]")
+    fn: DpxFunction = get_dpx_function(function_name)
+    model = DpxTimingModel(device)
+    gops = model.throughput_gops(fn) * utilization
+    return DpKernelEstimate(
+        device=device.name,
+        dpx_calls=dpx_calls,
+        hardware_dpx=model.hardware,
+        seconds=dpx_calls / (gops * 1e9) if dpx_calls else 0.0,
+    )

@@ -1,0 +1,39 @@
+"""DPX dynamic-programming instructions (paper §III-D1, Figs 6–7).
+
+CUDA 12 exposes ``__vi{add,}{max,min}…`` intrinsics that fuse the
+min/max compare chains at the heart of dynamic-programming inner loops
+(Smith-Waterman, Needleman-Wunsch, Floyd-Warshall).  On Hopper they are
+*hardware* instructions (``VIMNMX``/``VIADDMNMX`` family, including
+packed 16-bit×2 lanes and fused ReLU clamps); on Ampere and Ada the
+compiler emits multi-instruction CUDA-core emulation sequences.
+
+* :mod:`repro.dpx.functions` — exact integer semantics of the full
+  intrinsic family (scalar s32/u32 and packed s16x2), plus each
+  function's hardware and emulation SASS sequences.
+* :mod:`repro.dpx.unit` — latency/throughput model: near-parity for
+  the simple 32-bit ops, large Hopper wins for packed-16-bit + ReLU
+  fusions, and the per-SM block-scheduling sawtooth that locates the
+  DPX unit at SM level.
+"""
+
+from __future__ import annotations
+
+from repro.dpx.functions import (
+    DPX_FUNCTIONS,
+    DpxFunction,
+    get_dpx_function,
+    pack_s16x2,
+    unpack_s16x2,
+)
+from repro.dpx.unit import DpxTimingModel, DpxMeasurement, block_sweep
+
+__all__ = [
+    "DpxFunction",
+    "DPX_FUNCTIONS",
+    "get_dpx_function",
+    "pack_s16x2",
+    "unpack_s16x2",
+    "DpxTimingModel",
+    "DpxMeasurement",
+    "block_sweep",
+]

@@ -1,0 +1,284 @@
+"""The DPX intrinsic family: exact semantics + lowering sequences.
+
+Semantics operate on NumPy int64 carriers with exact 32-bit / packed
+16-bit two's-complement behaviour (wrap-around addition, signed or
+unsigned compares, optional fused ReLU clamp at zero).
+
+Each :class:`DpxFunction` also records its SASS lowering on both paths:
+
+* ``hw`` — the Hopper hardware sequence (usually one ``VIMNMX`` /
+  ``VIADDMNMX``-family instruction),
+* ``emu`` — the CUDA-core emulation sequence Ampere/Ada execute, with
+  its critical-path depth (for latency) and instruction count (for
+  throughput).
+
+The emulation costs grow with packing and fusion — two IMNMX for a
+scalar 3-way max, but over a dozen extract/compare/select/pack ops for
+``__viaddmax_s16x2_relu`` — which is exactly where the paper measures
+Hopper's up-to-13× advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DpxFunction",
+    "DPX_FUNCTIONS",
+    "get_dpx_function",
+    "pack_s16x2",
+    "unpack_s16x2",
+]
+
+_U32 = np.int64(1) << 32
+_U16 = np.int64(1) << 16
+
+
+def _wrap_s32(x):
+    x = np.asarray(x, dtype=np.int64)
+    return (x + (1 << 31)) % _U32 - (1 << 31)
+
+
+def _wrap_u32(x):
+    return np.asarray(x, dtype=np.int64) % _U32
+
+
+def _wrap_s16(x):
+    x = np.asarray(x, dtype=np.int64)
+    return (x + (1 << 15)) % _U16 - (1 << 15)
+
+
+def pack_s16x2(hi, lo) -> np.ndarray:
+    """Pack two signed 16-bit lanes into a 32-bit word (hi:lo)."""
+    hi = _wrap_s16(hi)
+    lo = _wrap_s16(lo)
+    return _wrap_s32((hi % _U16) * _U16 + (lo % _U16))
+
+
+def unpack_s16x2(v) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a 32-bit word into its signed 16-bit (hi, lo) lanes."""
+    u = _wrap_s32(v) % _U32
+    lo = _wrap_s16(u % _U16)
+    hi = _wrap_s16(u // _U16)
+    return hi, lo
+
+
+def _lanewise(op: Callable, *args):
+    """Apply a scalar op independently to both s16 lanes."""
+    lanes = [unpack_s16x2(a) for a in args]
+    hi = op(*(l[0] for l in lanes))
+    lo = op(*(l[1] for l in lanes))
+    return pack_s16x2(hi, lo)
+
+
+def _relu(x):
+    return np.maximum(x, 0)
+
+
+@dataclass(frozen=True)
+class DpxFunction:
+    """One DPX intrinsic."""
+
+    name: str
+    arity: int
+    semantics: Callable
+    hw_sass: Tuple[str, ...]
+    emu_sass: Tuple[str, ...]
+    emu_critical_path: int
+    packed: bool = False
+    unsigned: bool = False
+    relu: bool = False
+    #: on Ampere/Ada the compiler folds this intrinsic into a plain max,
+    #: so its standalone throughput cannot be measured there (paper's
+    #: ``__vibmax_s32`` footnote).
+    emu_optimized_away: bool = False
+
+    def __call__(self, *args):
+        if len(args) != self.arity:
+            raise TypeError(
+                f"{self.name} takes {self.arity} arguments, got {len(args)}"
+            )
+        return self.semantics(*args)
+
+    @property
+    def hw_instruction_count(self) -> int:
+        return len(self.hw_sass)
+
+    @property
+    def emu_instruction_count(self) -> int:
+        return len(self.emu_sass)
+
+
+def _f(name, arity, fn, hw, emu, crit, **kw) -> DpxFunction:
+    return DpxFunction(
+        name=name, arity=arity, semantics=fn,
+        hw_sass=tuple(hw), emu_sass=tuple(emu), emu_critical_path=crit,
+        **kw,
+    )
+
+
+# -- scalar 32-bit ----------------------------------------------------------
+
+def _vimax_s32(a, b):
+    return np.maximum(_wrap_s32(a), _wrap_s32(b))
+
+
+def _vimin_s32(a, b):
+    return np.minimum(_wrap_s32(a), _wrap_s32(b))
+
+
+def _vimax3_s32(a, b, c):
+    return np.maximum(np.maximum(_wrap_s32(a), _wrap_s32(b)), _wrap_s32(c))
+
+
+def _vimin3_s32(a, b, c):
+    return np.minimum(np.minimum(_wrap_s32(a), _wrap_s32(b)), _wrap_s32(c))
+
+
+def _vimax3_s32_relu(a, b, c):
+    return _relu(_vimax3_s32(a, b, c))
+
+
+def _vimin3_s32_relu(a, b, c):
+    return _relu(_vimin3_s32(a, b, c))
+
+
+def _viaddmax_s32(a, b, c):
+    return np.maximum(_wrap_s32(_wrap_s32(a) + _wrap_s32(b)), _wrap_s32(c))
+
+
+def _viaddmin_s32(a, b, c):
+    return np.minimum(_wrap_s32(_wrap_s32(a) + _wrap_s32(b)), _wrap_s32(c))
+
+
+def _viaddmax_s32_relu(a, b, c):
+    return _relu(_viaddmax_s32(a, b, c))
+
+
+def _vibmax_s32(a, b):
+    """Returns (max, pred) — pred is True where a >= b."""
+    a = _wrap_s32(a)
+    b = _wrap_s32(b)
+    return np.maximum(a, b), a >= b
+
+
+def _vibmin_s32(a, b):
+    a = _wrap_s32(a)
+    b = _wrap_s32(b)
+    return np.minimum(a, b), a <= b
+
+
+def _viaddmax_u32(a, b, c):
+    return np.maximum(_wrap_u32(_wrap_u32(a) + _wrap_u32(b)), _wrap_u32(c))
+
+
+def _viaddmin_u32(a, b, c):
+    return np.minimum(_wrap_u32(_wrap_u32(a) + _wrap_u32(b)), _wrap_u32(c))
+
+
+# -- packed 16x2 ----------------------------------------------------------------
+
+def _vimax3_s16x2(a, b, c):
+    return _lanewise(lambda x, y, z: np.maximum(np.maximum(x, y), z),
+                     a, b, c)
+
+
+def _vimin3_s16x2(a, b, c):
+    return _lanewise(lambda x, y, z: np.minimum(np.minimum(x, y), z),
+                     a, b, c)
+
+
+def _vimax3_s16x2_relu(a, b, c):
+    return _lanewise(
+        lambda x, y, z: _relu(np.maximum(np.maximum(x, y), z)), a, b, c
+    )
+
+
+def _viaddmax_s16x2(a, b, c):
+    return _lanewise(
+        lambda x, y, z: np.maximum(_wrap_s16(x + y), z), a, b, c
+    )
+
+
+def _viaddmax_s16x2_relu(a, b, c):
+    return _lanewise(
+        lambda x, y, z: _relu(np.maximum(_wrap_s16(x + y), z)), a, b, c
+    )
+
+
+# -- registry ----------------------------------------------------------------------
+
+DPX_FUNCTIONS: Dict[str, DpxFunction] = {
+    f.name: f
+    for f in (
+        _f("__vimax_s32", 2, _vimax_s32,
+           hw=["VIMNMX"], emu=["IMNMX"], crit=1),
+        _f("__vimin_s32", 2, _vimin_s32,
+           hw=["VIMNMX"], emu=["IMNMX"], crit=1),
+        _f("__vimax3_s32", 3, _vimax3_s32,
+           hw=["VIMNMX3"], emu=["IMNMX", "IMNMX"], crit=2),
+        _f("__vimin3_s32", 3, _vimin3_s32,
+           hw=["VIMNMX3"], emu=["IMNMX", "IMNMX"], crit=2),
+        _f("__vimax3_s32_relu", 3, _vimax3_s32_relu, relu=True,
+           hw=["VIMNMX3.RELU"], emu=["IMNMX", "IMNMX", "IMNMX"], crit=3),
+        _f("__vimin3_s32_relu", 3, _vimin3_s32_relu, relu=True,
+           hw=["VIMNMX3.RELU"], emu=["IMNMX", "IMNMX", "IMNMX"], crit=3),
+        _f("__viaddmax_s32", 3, _viaddmax_s32,
+           hw=["VIADDMNMX"], emu=["IADD3", "IMNMX"], crit=2),
+        _f("__viaddmin_s32", 3, _viaddmin_s32,
+           hw=["VIADDMNMX"], emu=["IADD3", "IMNMX"], crit=2),
+        _f("__viaddmax_s32_relu", 3, _viaddmax_s32_relu, relu=True,
+           hw=["VIADDMNMX.RELU"], emu=["IADD3", "IMNMX", "IMNMX"], crit=3),
+        _f("__viaddmax_u32", 3, _viaddmax_u32, unsigned=True,
+           hw=["VIADDMNMX.U32"], emu=["IADD3", "IMNMX.U32"], crit=2),
+        _f("__viaddmin_u32", 3, _viaddmin_u32, unsigned=True,
+           hw=["VIADDMNMX.U32"], emu=["IADD3", "IMNMX.U32"], crit=2),
+        _f("__vibmax_s32", 2, _vibmax_s32,
+           hw=["VIMNMX"], emu=["IMNMX", "ISETP"], crit=2,
+           emu_optimized_away=True),
+        _f("__vibmin_s32", 2, _vibmin_s32,
+           hw=["VIMNMX"], emu=["IMNMX", "ISETP"], crit=2,
+           emu_optimized_away=True),
+        _f("__vimax3_s16x2", 3, _vimax3_s16x2, packed=True,
+           hw=["VIMNMX3.S16X2"],
+           emu=["PRMT", "PRMT", "PRMT", "IMNMX", "IMNMX", "IMNMX",
+                "IMNMX", "PRMT"],
+           crit=5),
+        _f("__vimin3_s16x2", 3, _vimin3_s16x2, packed=True,
+           hw=["VIMNMX3.S16X2"],
+           emu=["PRMT", "PRMT", "PRMT", "IMNMX", "IMNMX", "IMNMX",
+                "IMNMX", "PRMT"],
+           crit=5),
+        _f("__vimax3_s16x2_relu", 3, _vimax3_s16x2_relu, packed=True,
+           relu=True,
+           hw=["VIMNMX3.S16X2.RELU"],
+           emu=["PRMT", "PRMT", "PRMT", "IMNMX", "IMNMX", "IMNMX",
+                "IMNMX", "IMNMX", "IMNMX", "PRMT"],
+           crit=6),
+        _f("__viaddmax_s16x2", 3, _viaddmax_s16x2, packed=True,
+           hw=["VIADDMNMX.S16X2"],
+           emu=["PRMT", "PRMT", "PRMT", "IADD3", "IADD3", "IMNMX",
+                "IMNMX", "PRMT", "PRMT", "LOP3"],
+           crit=6),
+        _f("__viaddmax_s16x2_relu", 3, _viaddmax_s16x2_relu, packed=True,
+           relu=True,
+           hw=["VIADDMNMX.S16X2.RELU"],
+           emu=["PRMT", "PRMT", "PRMT", "IADD3", "IADD3", "IMNMX",
+                "IMNMX", "IMNMX", "IMNMX", "PRMT", "PRMT", "LOP3",
+                "LOP3"],
+           crit=7),
+    )
+}
+
+
+def get_dpx_function(name: str) -> DpxFunction:
+    try:
+        return DPX_FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown DPX function {name!r}; known: "
+            f"{sorted(DPX_FUNCTIONS)}"
+        ) from None

@@ -1,0 +1,39 @@
+"""Distributed shared memory / thread-block clusters (Hopper).
+
+Models the SM-to-SM network Hopper adds inside each GPC and the CUDA
+cluster programming model on top of it (paper §III-D3, Figs 8–9):
+
+* :mod:`repro.dsm.network` — link latency (180 cycles, ~32 % below an
+  L2 round trip) and the shared-fabric bandwidth contention that makes
+  cluster-wide throughput *fall* as cluster size grows,
+* :mod:`repro.dsm.cluster` — functional clusters: every block owns a
+  real :class:`~repro.memory.shared.SharedMemory`, and
+  ``map_shared_rank`` hands out remote handles whose loads/stores/
+  atomics actually move bytes (and cost network cycles),
+* :mod:`repro.dsm.rbc` — the paper's ring-based copy throughput
+  benchmark across cluster size × block size × ILP,
+* :mod:`repro.dsm.histogram` — the DSM histogram application: bins
+  partitioned across the cluster, occupancy-vs-traffic trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.dsm.network import SmToSmNetwork
+from repro.dsm.cluster import Cluster, RemoteSharedHandle
+from repro.dsm.rbc import RingCopyBenchmark, RingCopyResult
+from repro.dsm.histogram import (
+    DsmHistogram,
+    HistogramConfig,
+    HistogramResult,
+)
+
+__all__ = [
+    "SmToSmNetwork",
+    "Cluster",
+    "RemoteSharedHandle",
+    "RingCopyBenchmark",
+    "RingCopyResult",
+    "DsmHistogram",
+    "HistogramConfig",
+    "HistogramResult",
+]

@@ -1,0 +1,129 @@
+"""Hopper shared-memory matrix descriptors.
+
+``wgmma`` does not take shared-memory *pointers*: its A (in SS mode)
+and B operands are 64-bit **matrix descriptors** encoding the tile's
+base address, leading-dimension and stride byte offsets, base offset
+and swizzle mode.  Building these correctly is the fiddliest part of
+hand-writing Hopper tensor-core kernels; this module implements the
+documented encoding (PTX ISA 8.x, "Matrix Descriptor Format"):
+
+===========  ========  ====================================
+bits         field     meaning
+===========  ========  ====================================
+13:0         start     base address, 128-byte aligned, >> 4
+29:16        lbo       leading-dimension byte offset >> 4
+45:32        sbo       stride-dimension byte offset >> 4
+51:49        base_off  matrix base offset (swizzle phase)
+63:62        swizzle   0 none / 1 128B / 2 64B / 3 32B
+===========  ========  ====================================
+
+Round-tripping through :func:`encode_descriptor` /
+:func:`decode_descriptor` is exact for every legal field combination
+(property-tested), and validation rejects the misalignments that
+silently corrupt real kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Swizzle", "SmemDescriptor", "encode_descriptor",
+           "decode_descriptor"]
+
+_ALIGN = 16          # all encoded offsets are in 16-byte units
+_FIELD14 = (1 << 14) - 1
+
+
+class Swizzle(enum.Enum):
+    """Shared-memory swizzle mode of the tile."""
+
+    NONE = 0
+    B128 = 1
+    B64 = 2
+    B32 = 3
+
+    @property
+    def bytes(self) -> int:
+        """Swizzle atom span in bytes (0 = unswizzled)."""
+        return {0: 0, 1: 128, 2: 64, 3: 32}[self.value]
+
+
+@dataclass(frozen=True)
+class SmemDescriptor:
+    """Decoded wgmma matrix descriptor."""
+
+    start_address: int          # byte address in shared memory
+    leading_byte_offset: int
+    stride_byte_offset: int
+    base_offset: int = 0
+    swizzle: Swizzle = Swizzle.NONE
+
+    def __post_init__(self) -> None:
+        for name, v, bits in (
+            ("start_address", self.start_address, 14),
+            ("leading_byte_offset", self.leading_byte_offset, 14),
+            ("stride_byte_offset", self.stride_byte_offset, 14),
+        ):
+            if v < 0:
+                raise ValueError(f"{name} must be non-negative")
+            if v % _ALIGN:
+                raise ValueError(
+                    f"{name} ({v}) must be {_ALIGN}-byte aligned"
+                )
+            if (v // _ALIGN) > _FIELD14:
+                raise ValueError(f"{name} exceeds the {bits}-bit field")
+        if not 0 <= self.base_offset < 8:
+            raise ValueError("base_offset is a 3-bit field")
+
+
+def encode_descriptor(desc: SmemDescriptor) -> int:
+    """Pack a descriptor into its 64-bit register image."""
+    word = 0
+    word |= (desc.start_address // _ALIGN) & _FIELD14
+    word |= ((desc.leading_byte_offset // _ALIGN) & _FIELD14) << 16
+    word |= ((desc.stride_byte_offset // _ALIGN) & _FIELD14) << 32
+    word |= (desc.base_offset & 0x7) << 49
+    word |= (desc.swizzle.value & 0x3) << 62
+    return word
+
+
+def decode_descriptor(word: int) -> SmemDescriptor:
+    """Unpack a 64-bit descriptor register image."""
+    if not 0 <= word < (1 << 64):
+        raise ValueError("descriptor must be a 64-bit value")
+    return SmemDescriptor(
+        start_address=(word & _FIELD14) * _ALIGN,
+        leading_byte_offset=((word >> 16) & _FIELD14) * _ALIGN,
+        stride_byte_offset=((word >> 32) & _FIELD14) * _ALIGN,
+        base_offset=(word >> 49) & 0x7,
+        swizzle=Swizzle((word >> 62) & 0x3),
+    )
+
+
+def descriptor_for_tile(*, base: int, rows: int, cols: int,
+                        elem_bytes: int,
+                        swizzle: Swizzle = Swizzle.B128,
+                        row_major: bool = True) -> SmemDescriptor:
+    """Build the descriptor for a dense (rows × cols) tile.
+
+    Follows the canonical layout kernels use: the leading byte offset
+    spans one core-matrix row (or column), the stride byte offset
+    spans the 8-row core-matrix block.
+    """
+    if min(rows, cols, elem_bytes) <= 0:
+        raise ValueError("tile dimensions must be positive")
+    line = cols * elem_bytes if row_major else rows * elem_bytes
+    lbo = line
+    sbo = 8 * line
+    if lbo % _ALIGN or sbo % _ALIGN:
+        raise ValueError(
+            f"tile line of {line} B is not {_ALIGN}-byte aligned; "
+            "pad the leading dimension"
+        )
+    return SmemDescriptor(
+        start_address=base,
+        leading_byte_offset=lbo,
+        stride_byte_offset=sbo,
+        swizzle=swizzle,
+    )

@@ -1,0 +1,147 @@
+"""PTX element data types for tensor-core instructions.
+
+Maps each PTX type name onto its storage width and, for floats, the
+bit-accurate codec in :mod:`repro.numerics`.  Also encodes the legal
+input → accumulator pairings (the A/B → C/D columns of Tables VI–IX).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.numerics import formats as _f
+from repro.numerics.formats import FloatFormat
+
+__all__ = ["DType", "input_types", "accumulator_types"]
+
+
+class DType(enum.Enum):
+    """A PTX-level element type (matrix operand or accumulator)."""
+
+    FP64 = "f64"
+    FP32 = "f32"
+    TF32 = "tf32"
+    FP16 = "f16"
+    BF16 = "bf16"
+    E4M3 = "e4m3"
+    E5M2 = "e5m2"
+    INT32 = "s32"
+    INT8 = "s8"
+    INT4 = "s4"
+    BIN1 = "b1"
+
+    # -- storage ----------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        return {
+            DType.FP64: 64,
+            DType.FP32: 32,
+            DType.TF32: 32,   # TF32 occupies a full 32-bit register
+            DType.FP16: 16,
+            DType.BF16: 16,
+            DType.E4M3: 8,
+            DType.E5M2: 8,
+            DType.INT32: 32,
+            DType.INT8: 8,
+            DType.INT4: 4,
+            DType.BIN1: 1,
+        }[self]
+
+    @property
+    def bytes(self) -> float:
+        return self.bits / 8.0
+
+    @property
+    def is_float(self) -> bool:
+        return self in (
+            DType.FP64, DType.FP32, DType.TF32, DType.FP16, DType.BF16,
+            DType.E4M3, DType.E5M2,
+        )
+
+    @property
+    def is_fp8(self) -> bool:
+        return self in (DType.E4M3, DType.E5M2)
+
+    @property
+    def float_format(self) -> Optional[FloatFormat]:
+        """The numerics codec for float types (None for integers)."""
+        return {
+            DType.FP64: _f.FP64,
+            DType.FP32: _f.FP32,
+            DType.TF32: _f.TF32,
+            DType.FP16: _f.FP16,
+            DType.BF16: _f.BF16,
+            DType.E4M3: _f.E4M3,
+            DType.E5M2: _f.E5M2,
+        }.get(self)
+
+    @property
+    def ptx_name(self) -> str:
+        return self.value
+
+    # -- table labels -------------------------------------------------------
+
+    @property
+    def paper_label(self) -> str:
+        """The label the paper's tables use for this type."""
+        return {
+            DType.FP64: "FP64",
+            DType.FP32: "FP32",
+            DType.TF32: "TF32",
+            DType.FP16: "FP16",
+            DType.BF16: "BF16",
+            DType.E4M3: "FP8",
+            DType.E5M2: "FP8",
+            DType.INT32: "INT32",
+            DType.INT8: "INT8",
+            DType.INT4: "INT4",
+            DType.BIN1: "Binary",
+        }[self]
+
+    # -- peak-rate lookup key ------------------------------------------------
+
+    @property
+    def peak_key(self) -> str:
+        """Key into :attr:`TensorCoreSpec.dense_peak_tflops`."""
+        return {
+            DType.FP64: "fp64",
+            DType.TF32: "tf32",
+            DType.FP16: "fp16",
+            DType.BF16: "bf16",
+            DType.E4M3: "fp8",
+            DType.E5M2: "fp8",
+            DType.INT8: "int8",
+            DType.INT4: "int4",
+            DType.BIN1: "binary",
+        }[self]
+
+
+#: Legal A/B input → C/D accumulator pairings for tensor-core MMA.
+_ACCUMULATORS: dict[DType, Tuple[DType, ...]] = {
+    DType.FP64: (DType.FP64,),
+    DType.TF32: (DType.FP32,),
+    DType.FP16: (DType.FP16, DType.FP32),
+    DType.BF16: (DType.FP32,),
+    DType.E4M3: (DType.FP16, DType.FP32),
+    DType.E5M2: (DType.FP16, DType.FP32),
+    DType.INT8: (DType.INT32,),
+    DType.INT4: (DType.INT32,),
+    DType.BIN1: (DType.INT32,),
+}
+
+
+def input_types() -> Tuple[DType, ...]:
+    """All types usable as MMA A/B operands."""
+    return tuple(_ACCUMULATORS)
+
+
+def accumulator_types(ab: DType) -> Tuple[DType, ...]:
+    """Accumulator types legal for input type ``ab``."""
+    try:
+        return _ACCUMULATORS[ab]
+    except KeyError:
+        raise ValueError(
+            f"{ab} is not a valid MMA input type"
+        ) from None

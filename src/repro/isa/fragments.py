@@ -1,0 +1,172 @@
+"""``mma`` register-fragment layouts.
+
+The dissection literature the paper builds on (Jia et al., Sun et al.)
+documents *which thread's registers hold which matrix element* for the
+warp-synchronous ``mma`` instructions — essential for writing the
+``ldmatrix`` shuffles and epilogues of a real kernel.  This module
+reproduces those layouts from the PTX ISA specification for the shapes
+the paper benchmarks:
+
+* 16-bit inputs (FP16/BF16): ``m16n8k8`` and ``m16n8k16``,
+* 32-bit inputs (TF32): ``m16n8k4`` and ``m16n8k8``,
+* 8-bit inputs (INT8): ``m16n8k16`` and ``m16n8k32``,
+* accumulators (FP16/FP32/INT32): ``m16n8``.
+
+Layouts are returned as dense ownership maps: for every matrix element
+the owning lane (0–31) and its index within that lane's fragment.  The
+test suite verifies the bijection (every element stored exactly once)
+and the documented anchor positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+from repro.isa.mma import MatrixShape, MmaInstruction
+
+__all__ = ["FragmentLayout", "a_layout", "b_layout", "c_layout",
+           "layouts_for"]
+
+
+@dataclass(frozen=True)
+class FragmentLayout:
+    """Ownership map of one matrix operand across the warp.
+
+    ``lane[r, c]`` is the thread (0–31) holding element (r, c);
+    ``index[r, c]`` is the element's position in that thread's
+    fragment (``a0, a1, …`` in PTX-ISA notation).
+    """
+
+    operand: str
+    rows: int
+    cols: int
+    lane: np.ndarray
+    index: np.ndarray
+
+    @property
+    def elements_per_thread(self) -> int:
+        return self.rows * self.cols // 32
+
+    @property
+    def fragment_size(self) -> int:
+        """Elements per thread as seen by the index map."""
+        return int(self.index.max()) + 1
+
+    def registers_per_thread(self, elem_bits: int) -> int:
+        """32-bit registers each thread devotes to this operand."""
+        if elem_bits <= 0 or 32 % min(elem_bits, 32):
+            raise ValueError("element width must divide 32")
+        per_reg = max(32 // elem_bits, 1)
+        return -(-self.fragment_size // per_reg)
+
+    def owner(self, row: int, col: int) -> Tuple[int, int]:
+        """(lane, fragment index) of one element."""
+        return int(self.lane[row, col]), int(self.index[row, col])
+
+    def is_bijection(self) -> bool:
+        """Every (lane, index) pair owns exactly one element."""
+        pairs = set(zip(self.lane.ravel().tolist(),
+                        self.index.ravel().tolist()))
+        return len(pairs) == self.rows * self.cols
+
+
+def _group_ids():
+    """PTX-ISA thread decomposition: groupID = lane>>2, tid = lane&3."""
+    lanes = np.arange(32)
+    return lanes >> 2, lanes & 3
+
+
+def a_layout(shape: MatrixShape, ab: DType) -> FragmentLayout:
+    """Matrix A (m × k) fragment layout."""
+    m, k = shape.m, shape.k
+    if m != 16:
+        raise ValueError("documented layouts cover m16n8 shapes")
+    lane = np.empty((m, k), dtype=np.int64)
+    index = np.empty((m, k), dtype=np.int64)
+    per_row_pair = _elems_per_thread_row(ab)
+    # Generic PTX rule for m16n8 A operands: lanes tile a
+    # (8 rows × 4 threads) grid; each thread holds ``w`` consecutive
+    # elements per (row-half, k-chunk), where w = 32 bits / elem width
+    # capped at the chunk, and k is split into 8-element × w chunks.
+    w = per_row_pair
+    chunk = 4 * w                       # k-width covered by one pass
+    if k % chunk:
+        raise ValueError(
+            f"shape {shape} is not a documented A layout for {ab}"
+        )
+    for r in range(m):
+        g_row = r % 8                   # row within the 8-row half
+        half = r // 8                   # 0: rows 0-7, 1: rows 8-15
+        for c in range(k):
+            pass_idx = c // chunk       # which k-chunk
+            within = c % chunk
+            tid = within // w
+            sub = within % w
+            lane[r, c] = g_row * 4 + tid
+            index[r, c] = sub + half * w + pass_idx * 2 * w
+    return FragmentLayout("A", m, k, lane, index)
+
+
+def b_layout(shape: MatrixShape, ab: DType) -> FragmentLayout:
+    """Matrix B (k × n) fragment layout."""
+    k, n = shape.k, shape.n
+    if n != 8:
+        raise ValueError("documented layouts cover m16n8 shapes")
+    w = _elems_per_thread_row(ab)
+    chunk = 4 * w
+    if k % chunk:
+        raise ValueError(
+            f"shape {shape} is not a documented B layout for {ab}"
+        )
+    lane = np.empty((k, n), dtype=np.int64)
+    index = np.empty((k, n), dtype=np.int64)
+    for r in range(k):
+        pass_idx = r // chunk
+        within = r % chunk
+        tid = within // w
+        sub = within % w
+        for c in range(n):
+            lane[r, c] = c * 4 + tid
+            index[r, c] = sub + pass_idx * w
+    return FragmentLayout("B", k, n, lane, index)
+
+
+def c_layout(shape: MatrixShape, cd: DType) -> FragmentLayout:
+    """Accumulator C/D (m × n) fragment layout (same for all widths)."""
+    m, n = shape.m, shape.n
+    if (m, n) != (16, 8):
+        raise ValueError("documented layouts cover m16n8 accumulators")
+    lane = np.empty((m, n), dtype=np.int64)
+    index = np.empty((m, n), dtype=np.int64)
+    for r in range(m):
+        g_row = r % 8
+        half = r // 8
+        for c in range(n):
+            lane[r, c] = g_row * 4 + c // 2
+            index[r, c] = (c % 2) + half * 2
+    return FragmentLayout("C", m, n, lane, index)
+
+
+def layouts_for(instr: MmaInstruction):
+    """(A, B, C) layouts of one dense mma instruction."""
+    if instr.sparse:
+        raise ValueError(
+            "sparse fragments hold compressed A; use the dense shape "
+            "plus repro.tensorcore.sparse for the metadata layout"
+        )
+    return (
+        a_layout(instr.shape, instr.ab_type),
+        b_layout(instr.shape, instr.ab_type),
+        c_layout(MatrixShape(instr.shape.m, instr.shape.n, 1),
+                 instr.cd_type),
+    )
+
+
+def _elems_per_thread_row(ab: DType) -> int:
+    """Consecutive k-elements one thread holds per row per pass
+    (32-bit register width over the element width, min 1)."""
+    return max(32 // ab.bits, 1)

@@ -1,0 +1,337 @@
+"""PTX → SASS lowering, per architecture.
+
+This pass answers the question the paper answers with ``cuobjdump``:
+*what does the machine actually execute for a given PTX instruction?*
+(Table VI).  Beyond the SASS mnemonics, the lowering decides which
+functional unit runs the op — which is where two of the paper's
+headline findings live:
+
+* On Hopper, INT4 ``mma`` no longer maps to the tensor core at all: it
+  lowers to a long sequence of CUDA-core ``IMAD`` instructions, so its
+  performance falls far short of tensor-core levels.
+* DPX intrinsics lower to single hardware instructions (``VIMNMX``,
+  ``VIADDMNMX``) on Hopper but to multi-instruction CUDA-core
+  emulation sequences on Ampere/Ada.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import singledispatch
+from typing import List, Sequence, Tuple
+
+from repro.arch import Architecture
+from repro.isa.dtypes import DType
+from repro.isa.memory_ops import CpAsync, LoadGlobal, LoadShared, Mapa, TmaCopy
+from repro.isa.mma import MmaInstruction, WgmmaInstruction
+
+__all__ = [
+    "FunctionalUnit",
+    "SassInstruction",
+    "LoweredOp",
+    "UnsupportedInstruction",
+    "lower",
+    "lower_dpx",
+    "sass_table",
+]
+
+
+class UnsupportedInstruction(ValueError):
+    """The instruction does not exist on the target architecture."""
+
+
+class FunctionalUnit(enum.Enum):
+    """The SM datapath a SASS instruction executes on."""
+
+    TENSOR_CORE = "tensor core"
+    CUDA_CORE_INT = "cuda core (INT32)"
+    CUDA_CORE_FP32 = "cuda core (FP32)"
+    CUDA_CORE_FP64 = "fp64 unit"
+    DPX = "dpx unit"
+    LSU = "load/store unit"
+    TMA = "tma engine"
+
+
+@dataclass(frozen=True)
+class SassInstruction:
+    """One SASS mnemonic plus the unit it occupies."""
+
+    mnemonic: str
+    unit: FunctionalUnit
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class LoweredOp:
+    """The SASS sequence one PTX instruction lowers to."""
+
+    ptx: str
+    arch: Architecture
+    sass: Tuple[SassInstruction, ...]
+
+    @property
+    def primary(self) -> SassInstruction:
+        return self.sass[0]
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(s.count for s in self.sass)
+
+    @property
+    def uses_tensor_core(self) -> bool:
+        return any(s.unit is FunctionalUnit.TENSOR_CORE for s in self.sass)
+
+
+# -- SASS mnemonic helpers -----------------------------------------------------
+
+_MMA_FAMILY = {
+    DType.FP16: "HMMA",
+    DType.BF16: "HMMA",
+    DType.TF32: "HMMA",
+    DType.FP64: "DMMA",
+    DType.INT8: "IMMA",
+    DType.INT4: "IMMA",
+    DType.BIN1: "BMMA",
+}
+
+_GMMA_FAMILY = {
+    DType.FP16: "HGMMA",
+    DType.BF16: "HGMMA",
+    DType.TF32: "HGMMA",
+    DType.E4M3: "QGMMA",
+    DType.E5M2: "QGMMA",
+    DType.INT8: "IGMMA",
+    DType.BIN1: "BGMMA",
+}
+
+
+def _mma_suffix(ab: DType, cd: DType) -> str:
+    """Type suffix of an (H|I|B)MMA mnemonic."""
+    if ab is DType.BIN1:
+        return "AND.POPC"
+    if ab in (DType.INT8, DType.INT4):
+        t = "S8" if ab is DType.INT8 else "S4"
+        return f"{t}.{t}"
+    suffix = cd.paper_label  # F16 / F32 style
+    suffix = {"FP16": "F16", "FP32": "F32", "FP64": "F64"}[suffix]
+    if ab is DType.TF32:
+        suffix += ".TF32"
+    elif ab is DType.BF16:
+        suffix += ".BF16"
+    return suffix
+
+
+def _gmma_suffix(ab: DType, cd: DType) -> str:
+    if ab is DType.BIN1:
+        return "AND.POPC"
+    if ab is DType.INT8:
+        return "S8.S8"
+    suffix = {"FP16": "F16", "FP32": "F32"}[cd.paper_label]
+    if ab is DType.TF32:
+        suffix += ".TF32"
+    elif ab is DType.BF16:
+        suffix += ".BF16"
+    elif ab in (DType.E4M3, DType.E5M2):
+        v = ab.name  # E4M3 / E5M2
+        suffix += f".{v}.{v}"
+    return suffix
+
+
+# -- lowering rules ------------------------------------------------------------
+
+
+@singledispatch
+def lower(instr, arch: Architecture) -> LoweredOp:
+    """Lower a PTX instruction descriptor to SASS for ``arch``."""
+    raise TypeError(f"no lowering rule for {type(instr).__name__}")
+
+
+@lower.register
+def _lower_mma(instr: MmaInstruction, arch: Architecture) -> LoweredOp:
+    ab, cd = instr.ab_type, instr.cd_type
+    if ab.is_fp8:
+        # There are no FP8 mma instructions on any architecture — the
+        # "×" cells of Table VI.  FP8 is reachable only through wgmma.
+        raise UnsupportedInstruction(
+            f"no mma instruction exists for FP8 inputs on "
+            f"{arch.value} (FP8 requires Hopper wgmma)"
+        )
+    if ab is DType.INT4 and arch is Architecture.HOPPER:
+        # Hopper dropped INT4 tensor-core support: the PTX still
+        # compiles, but to CUDA-core integer MACs (one 32-lane IMAD per
+        # 32 scalar MACs) plus register moves.
+        imads = max(instr.effective_shape.macs // 32, 1)
+        return LoweredOp(
+            ptx=instr.opcode,
+            arch=arch,
+            sass=(
+                SassInstruction("IMAD.MOV.U32", FunctionalUnit.CUDA_CORE_INT,
+                                count=imads),
+            ),
+        )
+    eff = instr.effective_shape
+    shape_tag = f"{eff.m}{eff.n}{eff.k}"
+    sp = "SP." if instr.sparse else ""
+    mnemonic = f"{_MMA_FAMILY[ab]}.{sp}{shape_tag}.{_mma_suffix(ab, cd)}"
+    return LoweredOp(
+        ptx=instr.opcode,
+        arch=arch,
+        sass=(SassInstruction(mnemonic, FunctionalUnit.TENSOR_CORE),),
+    )
+
+
+@lower.register
+def _lower_wgmma(instr: WgmmaInstruction, arch: Architecture) -> LoweredOp:
+    if not arch.has_wgmma:
+        raise UnsupportedInstruction(
+            f"wgmma requires Hopper (sm_90); {arch.value} has no GMMA "
+            "SASS instructions"
+        )
+    eff = instr.effective_shape
+    sp = "SP." if instr.sparse else ""
+    mnemonic = (
+        f"{_GMMA_FAMILY[instr.ab_type]}.{sp}"
+        f"{eff.m}x{eff.n}x{eff.k}."
+        f"{_gmma_suffix(instr.ab_type, instr.cd_type)}"
+    )
+    return LoweredOp(
+        ptx=instr.opcode,
+        arch=arch,
+        sass=(SassInstruction(mnemonic, FunctionalUnit.TENSOR_CORE),),
+    )
+
+
+@lower.register
+def _lower_ld_global(instr: LoadGlobal, arch: Architecture) -> LoweredOp:
+    bits = instr.bytes_per_thread * 8
+    mnemonic = f"LDG.E.{bits}" if bits <= 64 else "LDG.E.128"
+    if instr.cache_op.value == "cg":
+        mnemonic += ".STRONG.GPU"
+    return LoweredOp(
+        ptx=instr.opcode, arch=arch,
+        sass=(SassInstruction(mnemonic, FunctionalUnit.LSU),),
+    )
+
+
+@lower.register
+def _lower_ld_shared(instr: LoadShared, arch: Architecture) -> LoweredOp:
+    bits = instr.bytes_per_thread * 8
+    return LoweredOp(
+        ptx=instr.opcode, arch=arch,
+        sass=(SassInstruction(f"LDS.{bits}", FunctionalUnit.LSU),),
+    )
+
+
+@lower.register
+def _lower_cp_async(instr: CpAsync, arch: Architecture) -> LoweredOp:
+    if not arch.has_cp_async:
+        raise UnsupportedInstruction("cp.async requires sm_80+")
+    return LoweredOp(
+        ptx=instr.opcode, arch=arch,
+        sass=(SassInstruction("LDGSTS.E.BYPASS.128",
+                              FunctionalUnit.LSU),),
+    )
+
+
+@lower.register
+def _lower_tma(instr: TmaCopy, arch: Architecture) -> LoweredOp:
+    if not arch.has_tma:
+        raise UnsupportedInstruction("TMA requires Hopper (sm_90)")
+    return LoweredOp(
+        ptx=instr.opcode, arch=arch,
+        sass=(SassInstruction("UBLKCP", FunctionalUnit.TMA),),
+    )
+
+
+@lower.register
+def _lower_mapa(instr: Mapa, arch: Architecture) -> LoweredOp:
+    if not arch.has_distributed_shared_memory:
+        raise UnsupportedInstruction(
+            "mapa requires Hopper thread-block clusters"
+        )
+    return LoweredOp(
+        ptx=instr.opcode, arch=arch,
+        sass=(SassInstruction("MAPA", FunctionalUnit.CUDA_CORE_INT),),
+    )
+
+
+# -- DPX lowering ---------------------------------------------------------------
+
+
+def lower_dpx(
+    name: str,
+    *,
+    arch: Architecture,
+    hw_mnemonics: Sequence[str],
+    emulation_mnemonics: Sequence[str],
+) -> LoweredOp:
+    """Lower a DPX intrinsic.
+
+    On Hopper the intrinsic maps to the short hardware sequence
+    (``VIMNMX``-family); elsewhere the compiler emits the CUDA-core
+    emulation sequence.  The caller (:mod:`repro.dpx`) supplies both,
+    since the sequences are per-function properties.
+    """
+    if arch.has_dpx_hardware:
+        sass = tuple(
+            SassInstruction(m, FunctionalUnit.DPX) for m in hw_mnemonics
+        )
+    else:
+        sass = tuple(
+            SassInstruction(m, FunctionalUnit.CUDA_CORE_INT)
+            for m in emulation_mnemonics
+        )
+    return LoweredOp(ptx=name, arch=arch, sass=sass)
+
+
+# -- Table VI ------------------------------------------------------------------
+
+
+def sass_table(arch: Architecture = Architecture.HOPPER) -> List[dict]:
+    """Regenerate Table VI: SASS for each A/B–C/D tensor-core pairing.
+
+    Returns one row per (A/B, C/D) pair with the ``mma`` and ``wgmma``
+    lowering (or ``×`` where the instruction does not exist).
+    """
+    from repro.isa.mma import mma_shapes, wgmma_k  # local to avoid cycle
+
+    pairs = [
+        (DType.FP16, DType.FP16),
+        (DType.FP16, DType.FP32),
+        (DType.TF32, DType.FP32),
+        (DType.E4M3, DType.FP16),
+        (DType.E5M2, DType.FP16),
+        (DType.E4M3, DType.FP32),
+        (DType.E5M2, DType.FP32),
+        (DType.INT8, DType.INT32),
+        (DType.INT4, DType.INT32),
+        (DType.BIN1, DType.INT32),
+    ]
+    rows = []
+    for ab, cd in pairs:
+        # mma column — largest legal shape, matching the paper.
+        try:
+            shape = mma_shapes(ab)[-1]
+            m = lower(MmaInstruction(ab, cd, shape), arch)
+            mma_cell = m.primary.mnemonic
+        except (ValueError, UnsupportedInstruction):
+            mma_cell = "×"
+        # wgmma column — N=256, matching the paper.
+        try:
+            wgmma_k(ab)  # raises for INT4
+            w = lower(WgmmaInstruction(ab, cd, n=256), arch)
+            wgmma_cell = w.primary.mnemonic
+        except (ValueError, UnsupportedInstruction):
+            wgmma_cell = "×"
+        rows.append({
+            "A/B": ab.paper_label + (f" ({ab.name})" if ab.is_fp8 else ""),
+            "C/D": cd.paper_label,
+            "mma": mma_cell,
+            "wgmma": wgmma_cell,
+        })
+    return rows

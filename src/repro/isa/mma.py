@@ -1,0 +1,318 @@
+"""``mma`` / ``mma.sp`` / ``wgmma`` / ``wgmma.sp`` instruction model.
+
+The descriptors here carry everything the functional and timing models
+need: the matrix shape, the operand/accumulator types, sparsity, and —
+for ``wgmma`` — where the A operand lives (shared memory vs register
+file, the "SS"/"RS" modes of Tables VIII–X).
+
+Shape validation follows the PTX ISA 8.x rules:
+
+* ``mma``: warp-synchronous, fixed shapes per input type
+  (``m16n8k16``/``m16n8k8`` for FP16, ``m16n8k4``/``m16n8k8`` for TF32,
+  ``m16n8k16``/``m16n8k32`` for INT8, …).
+* ``mma.sp``: the 2:4 structured-sparse variant; the instruction
+  modifier's ``k`` is twice the dense compressed ``k`` (the paper's
+  Table VII lists compressed shapes).
+* ``wgmma``: warp-group (128-thread) asynchronous, ``m64nNkK`` with
+  ``N`` any multiple of 8 up to 256 and ``K`` fixed per input type
+  (16 for FP16/BF16, 8 for TF32, 32 for FP8/INT8, 256 for binary).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.isa.dtypes import DType, accumulator_types
+
+__all__ = [
+    "MatrixShape",
+    "OperandSource",
+    "MmaInstruction",
+    "WgmmaInstruction",
+    "mma_shapes",
+    "wgmma_k",
+    "valid_wgmma_n",
+]
+
+
+@dataclass(frozen=True, order=True)
+class MatrixShape:
+    """An ``m × n × k`` MMA tile shape."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ValueError("shape dimensions must be positive")
+
+    @property
+    def modifier(self) -> str:
+        """PTX shape modifier, e.g. ``m16n8k16``."""
+        return f"m{self.m}n{self.n}k{self.k}"
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of one instruction at this shape."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """FLOPs (or int-ops): one MAC = one multiply + one add."""
+        return 2 * self.macs
+
+    def __str__(self) -> str:
+        return self.modifier
+
+
+class OperandSource(enum.Enum):
+    """Where ``wgmma`` reads its A operand from (B is always shared).
+
+    The paper's "SS" mode loads both A and B from shared memory; "RS"
+    keeps A in the register file.  This distinction drives the sparse
+    SS throughput penalty of Table IX.
+    """
+
+    SHARED = "SS"
+    REGISTER = "RS"
+
+
+# -- mma shape tables ---------------------------------------------------------
+
+#: Dense ``mma`` shapes per input type (PTX ISA; the pairs the paper tests).
+_MMA_SHAPES: Dict[DType, Tuple[MatrixShape, ...]] = {
+    DType.FP16: (MatrixShape(16, 8, 8), MatrixShape(16, 8, 16)),
+    DType.BF16: (MatrixShape(16, 8, 8), MatrixShape(16, 8, 16)),
+    DType.TF32: (MatrixShape(16, 8, 4), MatrixShape(16, 8, 8)),
+    DType.FP64: (MatrixShape(8, 8, 4),),
+    DType.INT8: (MatrixShape(16, 8, 16), MatrixShape(16, 8, 32)),
+    DType.INT4: (MatrixShape(16, 8, 32), MatrixShape(16, 8, 64)),
+    DType.BIN1: (MatrixShape(16, 8, 128), MatrixShape(16, 8, 256)),
+}
+
+#: ``wgmma`` K dimension per input type (``m64nNkK``).
+_WGMMA_K: Dict[DType, int] = {
+    DType.FP16: 16,
+    DType.BF16: 16,
+    DType.TF32: 8,
+    DType.E4M3: 32,
+    DType.E5M2: 32,
+    DType.INT8: 32,
+    DType.BIN1: 256,
+}
+
+_WGMMA_MAX_N = 256
+_WGMMA_N_STEP = 8
+
+
+def mma_shapes(ab: DType) -> Tuple[MatrixShape, ...]:
+    """Legal dense ``mma`` shapes for input type ``ab``."""
+    try:
+        return _MMA_SHAPES[ab]
+    except KeyError:
+        raise ValueError(f"no mma shapes defined for {ab}") from None
+
+
+def wgmma_k(ab: DType) -> int:
+    """The fixed ``k`` of ``wgmma`` for input type ``ab``."""
+    try:
+        return _WGMMA_K[ab]
+    except KeyError:
+        raise ValueError(
+            f"wgmma does not support input type {ab} "
+            "(note: no INT4 wgmma exists)"
+        ) from None
+
+
+def valid_wgmma_n() -> Tuple[int, ...]:
+    """All legal ``wgmma`` N values (multiples of 8 up to 256)."""
+    return tuple(range(_WGMMA_N_STEP, _WGMMA_MAX_N + 1, _WGMMA_N_STEP))
+
+
+# -- instruction descriptors ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MmaInstruction:
+    """A warp-level ``mma.sync`` (or ``mma.sp``) instruction.
+
+    ``shape`` is the *compressed* shape for sparse instructions, i.e.
+    the shape whose operand data actually moves; the PTX modifier's
+    ``k`` is ``2 * shape.k`` when ``sparse``.
+    """
+
+    ab_type: DType
+    cd_type: DType
+    shape: MatrixShape
+    sparse: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cd_type not in accumulator_types(self.ab_type):
+            raise ValueError(
+                f"accumulator {self.cd_type} is illegal for input "
+                f"{self.ab_type}; legal: {accumulator_types(self.ab_type)}"
+            )
+        if self.shape not in mma_shapes(self.ab_type):
+            raise ValueError(
+                f"shape {self.shape} is not a legal mma shape for "
+                f"{self.ab_type}; legal: "
+                f"{[str(s) for s in mma_shapes(self.ab_type)]}"
+            )
+        if self.sparse and self.ab_type in (DType.BIN1, DType.FP64):
+            raise ValueError(f"mma.sp does not support {self.ab_type}")
+
+    @property
+    def warps(self) -> int:
+        """``mma`` executes on a single warp."""
+        return 1
+
+    @property
+    def threads(self) -> int:
+        return 32
+
+    @property
+    def synchronous(self) -> bool:
+        return True
+
+    @property
+    def effective_shape(self) -> MatrixShape:
+        """Shape of the math performed (sparse doubles ``k``)."""
+        if self.sparse:
+            return MatrixShape(self.shape.m, self.shape.n, 2 * self.shape.k)
+        return self.shape
+
+    @property
+    def flops(self) -> int:
+        """Useful FLOPs per instruction (sparse counts the full 2·k)."""
+        return self.effective_shape.flops
+
+    @property
+    def opcode(self) -> str:
+        op = "mma.sp.sync" if self.sparse else "mma.sync"
+        eff = self.effective_shape
+        return (
+            f"{op}.aligned.{eff.modifier}.row.col"
+            f".{self.cd_type.ptx_name}.{self.ab_type.ptx_name}"
+            f".{self.ab_type.ptx_name}.{self.cd_type.ptx_name}"
+        )
+
+    def operand_bytes(self) -> Dict[str, float]:
+        """Register-file bytes per matrix operand, per instruction."""
+        s = self.shape
+        return {
+            "A": s.m * s.k * self.ab_type.bytes,
+            "B": s.k * s.n * self.ab_type.bytes,
+            "C": s.m * s.n * self.cd_type.bytes,
+            # Sparse metadata: 2 bits per compressed element pair.
+            "meta": (s.m * s.k // 4) if self.sparse else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class WgmmaInstruction:
+    """A warp-group-level asynchronous ``wgmma`` (Hopper only).
+
+    Computes ``D = A × B (+ D)`` over one warp group (4 warps).  Unlike
+    ``mma`` the accumulator is D itself (no separate C), and A/B can be
+    read straight from shared memory.
+    """
+
+    ab_type: DType
+    cd_type: DType
+    n: int
+    sparse: bool = False
+    a_source: OperandSource = OperandSource.SHARED
+
+    def __post_init__(self) -> None:
+        if self.ab_type not in _WGMMA_K:
+            raise ValueError(
+                f"wgmma does not support input type {self.ab_type}"
+            )
+        if self.cd_type not in accumulator_types(self.ab_type):
+            raise ValueError(
+                f"accumulator {self.cd_type} is illegal for input "
+                f"{self.ab_type}"
+            )
+        if (self.n % _WGMMA_N_STEP) or not (
+            _WGMMA_N_STEP <= self.n <= _WGMMA_MAX_N
+        ):
+            raise ValueError(
+                f"wgmma N must be a multiple of {_WGMMA_N_STEP} in "
+                f"[{_WGMMA_N_STEP}, {_WGMMA_MAX_N}]; got {self.n}"
+            )
+        if self.sparse and self.ab_type is DType.BIN1:
+            raise ValueError("wgmma.sp does not support binary inputs")
+
+    @property
+    def m(self) -> int:
+        return 64
+
+    @property
+    def k(self) -> int:
+        """Compressed ``k`` (data that moves); math ``k`` when dense."""
+        return _WGMMA_K[self.ab_type]
+
+    @property
+    def warps(self) -> int:
+        """``wgmma`` is issued by a full warp group."""
+        return 4
+
+    @property
+    def threads(self) -> int:
+        return 128
+
+    @property
+    def synchronous(self) -> bool:
+        return False
+
+    @property
+    def shape(self) -> MatrixShape:
+        return MatrixShape(self.m, self.n, self.k)
+
+    @property
+    def effective_shape(self) -> MatrixShape:
+        if self.sparse:
+            return MatrixShape(self.m, self.n, 2 * self.k)
+        return self.shape
+
+    @property
+    def flops(self) -> int:
+        return self.effective_shape.flops
+
+    @property
+    def opcode(self) -> str:
+        op = "wgmma.mma_async.sp" if self.sparse else "wgmma.mma_async"
+        eff = self.effective_shape
+        return (
+            f"{op}.sync.aligned.{eff.modifier}"
+            f".{self.cd_type.ptx_name}.{self.ab_type.ptx_name}"
+            f".{self.ab_type.ptx_name}"
+        )
+
+    def shared_memory_bytes(self) -> float:
+        """Shared-memory bytes one instruction reads.
+
+        B always streams from shared memory (``k × n`` at the *math*
+        ``k``).  In SS mode A streams from shared memory too — and for
+        sparse instructions the shared copy of A is the *unpruned*
+        ``m × 2k`` tile, pruned on the fly against the metadata (the
+        mechanism behind Table IX's SS throughput deficit).  In RS mode
+        A comes pre-pruned from the register file and costs no shared
+        bandwidth.
+        """
+        eff_k = self.effective_shape.k
+        b_bytes = eff_k * self.n * self.ab_type.bytes
+        if self.a_source is OperandSource.REGISTER:
+            return b_bytes
+        a_k = eff_k if self.sparse else self.k
+        return b_bytes + self.m * a_k * self.ab_type.bytes
+
+    def register_bytes(self) -> float:
+        """Register-file bytes per instruction (A in RS mode, plus D)."""
+        d_bytes = self.m * self.n * self.cd_type.bytes
+        if self.a_source is OperandSource.REGISTER:
+            return d_bytes + self.m * self.k * self.ab_type.bytes
+        return d_bytes

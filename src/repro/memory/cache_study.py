@@ -1,0 +1,160 @@
+"""Cache-parameter detection via P-chase sweeps.
+
+The classic dissection methodology (Saavedra-Barrera; Mei & Chu, which
+the paper builds on): infer cache *capacity*, *line size* and
+*associativity* purely from latency measurements —
+
+* **capacity**: chase arrays of growing size; the mean latency steps up
+  when the array stops fitting,
+* **line size**: chase at growing strides inside a larger-than-cache
+  array; per-access miss cost stays flat until the stride exceeds the
+  fill granularity (every access its own sector/line),
+* **associativity**: chase ``w`` addresses that map to one set; latency
+  jumps when ``w`` exceeds the way count.
+
+Running these against the simulator recovers the configured geometry —
+the self-consistency check that the measurement methodology and the
+model agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch import DeviceSpec
+from repro.isa.memory_ops import CacheOp
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["CacheProbe", "DetectedParameters"]
+
+
+@dataclass(frozen=True)
+class DetectedParameters:
+    """What the sweeps inferred."""
+
+    l1_capacity_bytes: int
+    l1_sector_bytes: int
+    l1_ways: int
+
+
+class CacheProbe:
+    """P-chase-style parameter detection bound to one device."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # -- capacity ------------------------------------------------------------
+
+    def capacity_sweep(self, sizes_kib: List[int],
+                       iters: int = 1024) -> Dict[int, float]:
+        """Mean chase latency vs array size (KiB)."""
+        out = {}
+        for kib in sizes_kib:
+            mh = MemoryHierarchy(self.device)
+            size = kib * 1024
+            mh.warm_l1(0, 0, size)
+            mh.warm_tlb(0, size)
+            n = size // 128
+            total = 0.0
+            idx = 0
+            for _ in range(iters):
+                total += mh.load(idx * 128, 32, sm_id=0).latency_clk
+                idx = (idx + 1) % n
+            out[kib] = total / iters
+        return out
+
+    def detect_l1_capacity(self, *, lo_kib: int = 16,
+                           hi_kib: int = 1024) -> int:
+        """Largest power-of-two array (bytes) that still chases at L1
+        latency."""
+        l1_lat = self.device.mem_latencies.l1_hit_clk
+        sizes = []
+        kib = lo_kib
+        while kib <= hi_kib:
+            sizes.append(kib)
+            kib *= 2
+        sweep = self.capacity_sweep(sizes, iters=512)
+        best = 0
+        for kib, lat in sweep.items():
+            if lat <= l1_lat * 1.05:
+                best = max(best, kib * 1024)
+        return best
+
+    # -- fill granularity -----------------------------------------------------
+
+    def stride_sweep(self, strides: List[int],
+                     array_kib: int = 512,
+                     iters: int = 512) -> Dict[int, float]:
+        """Mean latency of a strided chase through a >L1 array that is
+        re-walked after one warming pass (misses dominate).  Latency
+        per *byte* falls as the stride shrinks below the sector size
+        (several accesses share one fill); per-access latency is flat
+        above it."""
+        out = {}
+        size = array_kib * 1024
+        for stride in strides:
+            mh = MemoryHierarchy(self.device)
+            mh.warm_tlb(0, size)
+            mh.warm_l2(0, size)
+            n = size // stride
+            total = 0.0
+            for i in range(iters):
+                addr = (i % n) * stride
+                total += mh.load(addr, 4, sm_id=0,
+                                 cache_op=CacheOp.CACHE_ALL).latency_clk
+            out[stride] = total / iters
+        return out
+
+    def detect_sector_bytes(self) -> int:
+        """Smallest stride at which every access misses L1 on first
+        touch (= the fill granularity)."""
+        sweep = self.stride_sweep([4, 8, 16, 32, 64, 128])
+        l2_lat = self.device.mem_latencies.l2_hit_clk
+        for stride in sorted(sweep):
+            # all-miss ⇒ mean ≈ L2-hit latency (L2 was pre-warmed)
+            if sweep[stride] >= 0.95 * l2_lat:
+                return stride
+        return max(sweep)
+
+    # -- associativity ------------------------------------------------------------
+
+    def conflict_sweep(self, ways_range: List[int],
+                       iters: int = 256) -> Dict[int, float]:
+        """Chase ``w`` same-set addresses repeatedly."""
+        geo = self.device.cache
+        l1_lines = geo.l1_size_bytes // geo.line_bytes
+        num_sets = l1_lines // geo.l1_associativity
+        set_stride = num_sets * geo.line_bytes
+        out = {}
+        for w in ways_range:
+            mh = MemoryHierarchy(self.device)
+            addrs = [i * set_stride for i in range(w)]
+            mh.warm_tlb(0, addrs[-1] + 128)
+            for a in addrs:              # warm pass
+                mh.load(a, 32, sm_id=0)
+            total = 0.0
+            for i in range(iters):
+                total += mh.load(addrs[i % w], 32,
+                                 sm_id=0).latency_clk
+            out[w] = total / iters
+        return out
+
+    def detect_l1_ways(self, max_ways: int = 16) -> int:
+        """Largest same-set working set that still hits in L1."""
+        sweep = self.conflict_sweep(list(range(1, max_ways + 1)))
+        l1_lat = self.device.mem_latencies.l1_hit_clk
+        detected = 0
+        for w in sorted(sweep):
+            if sweep[w] <= l1_lat * 1.05:
+                detected = w
+        return detected
+
+    # -- all together ---------------------------------------------------------------
+
+    def detect(self) -> DetectedParameters:
+        return DetectedParameters(
+            l1_capacity_bytes=self.detect_l1_capacity(),
+            l1_sector_bytes=self.detect_sector_bytes(),
+            l1_ways=self.detect_l1_ways(),
+        )

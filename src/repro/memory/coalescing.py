@@ -1,0 +1,93 @@
+"""Warp memory-access coalescing analysis.
+
+Global loads are serviced in 32-byte sectors: the hardware coalesces a
+warp's 32 lane addresses into the minimal set of sector transactions.
+This analyser computes that set — the tool one uses to explain why a
+strided or misaligned kernel sees a fraction of Table V's streaming
+bandwidth.
+
+The efficiency definition matches the profiler's
+``gld_efficiency``: requested bytes over transferred bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CoalescingReport", "analyze_warp_access",
+           "strided_access", "efficiency_vs_stride"]
+
+SECTOR_BYTES = 32
+
+
+@dataclass(frozen=True)
+class CoalescingReport:
+    """Transactions one warp access generates."""
+
+    lanes: int
+    bytes_per_lane: int
+    sectors: int
+    requested_bytes: int
+
+    @property
+    def transferred_bytes(self) -> int:
+        return self.sectors * SECTOR_BYTES
+
+    @property
+    def efficiency(self) -> float:
+        """Requested / transferred (1.0 = perfectly coalesced)."""
+        if not self.transferred_bytes:
+            return 0.0
+        return self.requested_bytes / self.transferred_bytes
+
+    @property
+    def perfectly_coalesced(self) -> bool:
+        return self.efficiency >= 1.0 - 1e-12
+
+
+def analyze_warp_access(addresses: Sequence[int],
+                        bytes_per_lane: int = 4) -> CoalescingReport:
+    """Coalesce one warp's lane byte-addresses into sectors."""
+    if len(addresses) > 32:
+        raise ValueError("a warp has at most 32 lanes")
+    if bytes_per_lane not in (1, 2, 4, 8, 16):
+        raise ValueError("bytes_per_lane must be 1/2/4/8/16")
+    if any(a < 0 for a in addresses):
+        raise ValueError("addresses must be non-negative")
+    sectors = set()
+    for a in addresses:
+        first = a // SECTOR_BYTES
+        last = (a + bytes_per_lane - 1) // SECTOR_BYTES
+        sectors.update(range(first, last + 1))
+    return CoalescingReport(
+        lanes=len(addresses),
+        bytes_per_lane=bytes_per_lane,
+        sectors=len(sectors),
+        requested_bytes=len(addresses) * bytes_per_lane,
+    )
+
+
+def strided_access(stride_bytes: int, *, base: int = 0,
+                   bytes_per_lane: int = 4,
+                   lanes: int = 32) -> CoalescingReport:
+    """The canonical probe: lane i accesses ``base + i·stride``."""
+    if stride_bytes < 0:
+        raise ValueError("stride must be non-negative")
+    return analyze_warp_access(
+        [base + i * stride_bytes for i in range(lanes)],
+        bytes_per_lane=bytes_per_lane,
+    )
+
+
+def efficiency_vs_stride(strides: Sequence[int],
+                         bytes_per_lane: int = 4) -> dict:
+    """Efficiency curve over strides — unit stride is perfect, the
+    curve decays to ``bytes_per_lane / 32`` once every lane owns a
+    sector."""
+    return {
+        s: strided_access(s, bytes_per_lane=bytes_per_lane).efficiency
+        for s in strides
+    }

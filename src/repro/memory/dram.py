@@ -1,0 +1,51 @@
+"""Off-chip DRAM channel model.
+
+Latency comes straight from the device calibration
+(:class:`repro.arch.MemoryLatencies.dram_clk`); *sustained bandwidth*
+is derived from the channel's peak rate minus refresh and read/write
+turnaround overheads — which is how the paper's ~90–92 %-of-peak global
+throughput (Table V) emerges rather than being stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import DeviceSpec, DramSpec
+
+__all__ = ["DramChannel"]
+
+
+@dataclass
+class DramChannel:
+    """A device's aggregate DRAM subsystem."""
+
+    spec: DramSpec
+
+    @classmethod
+    def for_device(cls, device: DeviceSpec) -> "DramChannel":
+        return cls(device.dram)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.size_gib * (1 << 30)
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        return self.spec.peak_bandwidth_gbps
+
+    def sustained_bandwidth_gbps(self, *, read_fraction: float = 1.0) -> float:
+        """Sustained bandwidth for a given read share of traffic."""
+        return self.spec.effective_bandwidth_gbps(read_fraction)
+
+    def transfer_time_s(self, nbytes: float, *,
+                        read_fraction: float = 1.0) -> float:
+        """Time to stream ``nbytes`` at sustained bandwidth."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        bw = self.sustained_bandwidth_gbps(read_fraction=read_fraction)
+        return nbytes / (bw * 1e9)
+
+    def fits(self, nbytes: float) -> bool:
+        """Capacity check — the OOM verdicts of Table XII use this."""
+        return nbytes <= self.capacity_bytes

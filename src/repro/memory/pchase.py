@@ -1,0 +1,198 @@
+"""The P-chase latency microbenchmark (paper §III-A, Table IV).
+
+Follows Saavedra-Barrera-style pointer chasing exactly as the paper
+describes it per level:
+
+* **L1** — warm the array into L1 with ``ld.global.ca``-equivalent
+  fills, then chase with one thread; every access hits L1.
+* **Shared** — chase a pointer chain stored in real
+  :class:`~repro.memory.shared.SharedMemory`.
+* **L2** — warm with ``.cg`` (bypassing L1) and chase with ``.cg``.
+* **Global** — allocate a buffer *larger than L2* so capacity misses
+  persist, initialise it (which warms the TLB, as the paper notes),
+  then chase; every access goes to DRAM.
+
+The chase itself is serial and data-dependent, so the average per-hop
+cost equals the service latency of the level being probed — the same
+argument the original microbenchmark makes on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.arch import DeviceSpec
+from repro.isa.memory_ops import CacheOp
+from repro.memory.hierarchy import MemLevel, MemoryHierarchy
+from repro.memory.shared import SharedMemory
+
+__all__ = ["PChase", "PChaseResult", "measure_latencies"]
+
+
+@dataclass(frozen=True)
+class PChaseResult:
+    """Average latency of one P-chase run."""
+
+    level: str
+    mean_latency_clk: float
+    accesses: int
+    hits_at_level: float     # fraction served at the intended level
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.level}: {self.mean_latency_clk:.1f} clk "
+            f"({self.accesses} accesses, "
+            f"{100 * self.hits_at_level:.1f}% at level)"
+        )
+
+
+def _chain(n_entries: int, stride_entries: int = 1,
+           seed: int | None = None) -> np.ndarray:
+    """Build a pointer chain visiting all entries.
+
+    With ``stride_entries == 1`` the chain walks sequentially with
+    wraparound; a random permutation (``seed`` given) defeats any
+    streaming prefetch assumption.
+    """
+    if n_entries <= 1:
+        raise ValueError("need at least 2 chain entries")
+    if seed is None:
+        order = (np.arange(n_entries) * stride_entries) % n_entries
+        # de-duplicate if stride and n share factors
+        if len(np.unique(order)) != n_entries:
+            order = np.arange(n_entries)
+    else:
+        order = np.random.default_rng(seed).permutation(n_entries)
+    nxt = np.empty(n_entries, dtype=np.int64)
+    nxt[order] = np.roll(order, -1)
+    return nxt
+
+
+class PChase:
+    """P-chase driver bound to one device's memory hierarchy."""
+
+    #: element stride in bytes — one pointer per 128 B line, matching the
+    #: paper's fixed-stride initialisation.
+    STRIDE_BYTES = 128
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self.hierarchy = MemoryHierarchy(device)
+
+    # -- per-level measurements -------------------------------------------------
+
+    def l1_latency(self, *, array_kib: int = 32,
+                   iters: int = 2048) -> PChaseResult:
+        """Chase an L1-resident array warmed with ``.ca`` loads."""
+        self.hierarchy.flush()
+        size = array_kib * 1024
+        n = size // self.STRIDE_BYTES
+        self.hierarchy.warm_l1(0, 0, size)
+        return self._run(n, iters, CacheOp.CACHE_ALL, MemLevel.L1, "L1 Cache")
+
+    def l2_latency(self, *, array_kib: int = 4096,
+                   iters: int = 4096) -> PChaseResult:
+        """Chase an L2-resident array warmed with ``.cg`` loads."""
+        self.hierarchy.flush()
+        size = array_kib * 1024
+        if size > self.device.cache.l2_size_bytes:
+            raise ValueError("L2 probe array must fit in L2")
+        n = size // self.STRIDE_BYTES
+        self.hierarchy.warm_l2(0, size)
+        return self._run(n, iters, CacheOp.CACHE_GLOBAL, MemLevel.L2,
+                         "L2 Cache")
+
+    def shared_latency(self, *, array_kib: int = 16,
+                       iters: int = 2048) -> PChaseResult:
+        """Chase a chain stored in real shared memory (one thread)."""
+        size = array_kib * 1024
+        n = size // 8
+        smem = SharedMemory(size)
+        chain = _chain(n)
+        smem.write(0, chain.astype(np.int64))
+        base = self.device.mem_latencies.shared_clk
+        idx, total = 0, 0.0
+        for _ in range(iters):
+            # one thread, one 8-byte word: never a bank conflict
+            total += smem.access_cycles([idx * 8], base)
+            idx = int(np.frombuffer(
+                smem.read(idx * 8, 8).tobytes(), dtype=np.int64
+            )[0])
+        return PChaseResult("Shared", total / iters, iters, 1.0)
+
+    def global_latency(self, *, overfill: float = 1.25,
+                       iters: int = 8192) -> PChaseResult:
+        """Chase a buffer larger than L2; TLB warmed at initialisation.
+
+        A full initialisation pass streams the buffer once (filling the
+        TLB and transiently the caches); because the buffer exceeds L2
+        capacity, LRU guarantees every subsequent chase access misses
+        both caches — the paper's "avoid L2 prefetching" condition.
+        """
+        self.hierarchy.flush()
+        size = int(self.device.cache.l2_size_bytes * overfill)
+        n = size // self.STRIDE_BYTES
+        # Initialisation pass: streams the array once (warms TLB; the
+        # cache contents it leaves behind are self-evicting).
+        self.hierarchy.warm_tlb(0, size)
+        for i in range(n):
+            self.hierarchy.load(i * self.STRIDE_BYTES, 32,
+                                cache_op=CacheOp.CACHE_ALL)
+        return self._run(n, iters, CacheOp.CACHE_ALL, MemLevel.GLOBAL,
+                         "Global")
+
+    def global_latency_cold_tlb(self, *, iters: int = 2048) -> PChaseResult:
+        """Variant without the init pass — shows the TLB-miss penalty
+        the paper's warm-up exists to avoid."""
+        self.hierarchy.flush()
+        size = int(self.device.cache.l2_size_bytes * 1.25)
+        n = size // self.STRIDE_BYTES
+        return self._run(n, iters, CacheOp.CACHE_ALL, MemLevel.GLOBAL,
+                         "Global (cold TLB)", stride_pages=True)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _run(self, n_entries: int, iters: int, op: CacheOp,
+             expect: MemLevel, label: str,
+             stride_pages: bool = False) -> PChaseResult:
+        chain = _chain(n_entries)
+        stride = (self.hierarchy.tlb.page_bytes if stride_pages
+                  else self.STRIDE_BYTES)
+        idx, total, at_level = 0, 0.0, 0
+        for _ in range(iters):
+            res = self.hierarchy.load(idx * stride, 32, cache_op=op)
+            total += res.latency_clk
+            at_level += res.level is expect
+            idx = int(chain[idx])
+        return PChaseResult(label, total / iters, iters, at_level / iters)
+
+
+def measure_latencies(device: DeviceSpec, *, fast: bool = False
+                      ) -> Dict[str, float]:
+    """Run all four P-chase measurements — one Table IV column.
+
+    ``fast`` shrinks iteration counts for test suites.
+    """
+    it = 256 if fast else 2048
+    if fast:
+        # Shrink the L2 so the over-L2 global probe stays cheap; the
+        # capacity-miss mechanism (and thus the measured latency) is
+        # unchanged because per-level latencies are size-independent.
+        from dataclasses import replace
+        device = device.with_overrides(
+            cache=replace(device.cache, l2_size_kib=2048)
+        )
+    p = PChase(device)
+    l2_kib = min(4096, device.cache.l2_size_kib // 2)
+    return {
+        "L1 Cache": p.l1_latency(iters=it).mean_latency_clk,
+        "Shared": p.shared_latency(iters=it).mean_latency_clk,
+        "L2 Cache": p.l2_latency(array_kib=l2_kib,
+                                 iters=it).mean_latency_clk,
+        "Global": p.global_latency(
+            iters=it, overfill=1.25 if not fast else 1.1
+        ).mean_latency_clk,
+    }

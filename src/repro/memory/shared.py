@@ -1,0 +1,125 @@
+"""Banked shared memory with real storage.
+
+Shared memory on all three architectures is organised as 32 banks of
+4-byte words; a warp access that maps two lanes onto different words of
+the same bank serialises (bank conflict).  The model provides
+
+* real byte-addressable storage (NumPy-backed) — the DSM histogram
+  application stores actual counts in it,
+* a conflict analyser for a warp's 32 addresses,
+* atomics (``atomicAdd`` on 4-byte words) with conflict accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SharedMemory", "BankConflictReport"]
+
+
+@dataclass(frozen=True)
+class BankConflictReport:
+    """Conflict analysis of one warp-wide shared-memory access."""
+
+    degree: int          # max ways any bank is hit with distinct words
+    conflicting_banks: int
+    broadcast: bool      # all lanes read the same word
+
+    @property
+    def serialized_passes(self) -> int:
+        """Hardware replays the access once per conflict way."""
+        return max(self.degree, 1)
+
+
+class SharedMemory:
+    """One thread block's shared-memory allocation.
+
+    Parameters
+    ----------
+    size_bytes:
+        Allocation size (≤ the device's per-block carve-out).
+    banks / bank_bytes:
+        Banking geometry (32 × 4 B on every device modelled).
+    """
+
+    def __init__(self, size_bytes: int, *, banks: int = 32,
+                 bank_bytes: int = 4) -> None:
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        self.size_bytes = int(size_bytes)
+        self.banks = banks
+        self.bank_bytes = bank_bytes
+        self._data = np.zeros(self.size_bytes, dtype=np.uint8)
+        self.atomic_ops = 0
+        self.accesses = 0
+
+    # -- storage -----------------------------------------------------------
+
+    def write(self, offset: int, payload: np.ndarray | bytes) -> None:
+        buf = np.frombuffer(bytes(payload), dtype=np.uint8) \
+            if isinstance(payload, (bytes, bytearray)) \
+            else np.asarray(payload).view(np.uint8).ravel()
+        self._bounds(offset, buf.size)
+        self._data[offset:offset + buf.size] = buf
+        self.accesses += 1
+
+    def read(self, offset: int, size: int) -> np.ndarray:
+        self._bounds(offset, size)
+        self.accesses += 1
+        return self._data[offset:offset + size].copy()
+
+    def read_u32(self, offset: int) -> int:
+        return int(self.read(offset, 4).view(np.uint32)[0])
+
+    def write_u32(self, offset: int, value: int) -> None:
+        self.write(offset, np.array([value], dtype=np.uint32))
+
+    def atomic_add_u32(self, offset: int, value: int = 1) -> int:
+        """``atomicAdd`` on a 4-byte word; returns the old value."""
+        self._bounds(offset, 4)
+        old = self.read_u32(offset)
+        self.write_u32(offset, (old + value) & 0xFFFFFFFF)
+        self.atomic_ops += 1
+        return old
+
+    def fill(self, value: int = 0) -> None:
+        self._data[:] = value
+
+    def _bounds(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > self.size_bytes:
+            raise IndexError(
+                f"shared-memory access [{offset}, {offset + size}) out of "
+                f"bounds for allocation of {self.size_bytes} B"
+            )
+
+    # -- bank conflicts -------------------------------------------------------
+
+    def conflict_report(
+        self, lane_addresses: Sequence[int]
+    ) -> BankConflictReport:
+        """Analyse one warp access (≤32 lane byte-addresses)."""
+        if len(lane_addresses) > 32:
+            raise ValueError("a warp has at most 32 lanes")
+        words = [a // self.bank_bytes for a in lane_addresses]
+        if not words:
+            return BankConflictReport(1, 0, False)
+        if len(set(words)) == 1:
+            return BankConflictReport(1, 0, True)
+        per_bank: dict[int, set[int]] = {}
+        for w in words:
+            per_bank.setdefault(w % self.banks, set()).add(w)
+        degree = max(len(ws) for ws in per_bank.values())
+        conflicting = sum(1 for ws in per_bank.values() if len(ws) > 1)
+        return BankConflictReport(degree, conflicting, False)
+
+    def access_cycles(self, lane_addresses: Sequence[int],
+                      base_latency: float) -> float:
+        """Latency of a warp access including conflict replays."""
+        rep = self.conflict_report(lane_addresses)
+        return base_latency + (rep.serialized_passes - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SharedMemory {self.size_bytes} B, {self.banks} banks>"

@@ -1,0 +1,57 @@
+"""A simple LRU TLB.
+
+The paper's global-latency benchmark initialises its buffer before
+timing *"to warm up the TLB to avoid the occurrence of cold misses"*
+(§III-A4).  The model exists so the P-chase driver can demonstrate both
+regimes: a cold chase pays ``tlb_miss_clk`` per new page; a warmed chase
+pays nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 512,
+                 page_bytes: int = 2 * 1024 * 1024) -> None:
+        if entries <= 0 or page_bytes <= 0:
+            raise ValueError("entries and page_bytes must be positive")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate ``addr``; returns True on a TLB hit."""
+        page = addr // self.page_bytes
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    def warm(self, base: int, size: int) -> None:
+        """Touch every page of [base, base+size)."""
+        page = base // self.page_bytes
+        last = (base + max(size - 1, 0)) // self.page_bytes
+        for p in range(page, last + 1):
+            self.access(p * self.page_bytes)
+
+    def flush(self) -> None:
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)

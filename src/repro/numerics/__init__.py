@@ -1,0 +1,65 @@
+"""Bit-accurate low-precision numerics.
+
+Software implementations of every tensor-core input/accumulator format
+the paper exercises: FP16, BF16, TF32, FP8 (both E4M3 and E5M2
+variants), INT8 and INT4, plus block quantisation helpers used by the
+Transformer-Engine analogue.
+
+The centrepiece is :class:`FloatFormat`, a generic binary
+floating-point codec parameterised by exponent/mantissa widths with
+round-to-nearest-even, gradual underflow (subnormals), and either
+IEEE-style overflow-to-infinity or saturating overflow (FP8-E4M3 in
+Transformer Engine saturates).
+"""
+
+from __future__ import annotations
+
+from repro.numerics.formats import (
+    BF16,
+    E4M3,
+    E5M2,
+    FP16,
+    FP32,
+    FP64,
+    TF32,
+    FloatFormat,
+    FORMATS,
+    get_format,
+)
+from repro.numerics.integers import (
+    IntFormat,
+    INT4,
+    INT8,
+    quantize_int,
+    dequantize_int,
+)
+from repro.numerics.quantize import (
+    QuantizedTensor,
+    amax_scale,
+    quantize_fp8,
+    dequantize_fp8,
+    quantization_error,
+)
+
+__all__ = [
+    "FloatFormat",
+    "FP64",
+    "FP32",
+    "FP16",
+    "BF16",
+    "TF32",
+    "E4M3",
+    "E5M2",
+    "FORMATS",
+    "get_format",
+    "IntFormat",
+    "INT8",
+    "INT4",
+    "quantize_int",
+    "dequantize_int",
+    "QuantizedTensor",
+    "amax_scale",
+    "quantize_fp8",
+    "dequantize_fp8",
+    "quantization_error",
+]

@@ -1,0 +1,314 @@
+"""Generic binary floating-point codec.
+
+:class:`FloatFormat` models an IEEE-754-style binary format with ``E``
+exponent bits and ``M`` explicit mantissa bits.  It supports:
+
+* round-to-nearest-even quantisation of float64 arrays,
+* gradual underflow (subnormals),
+* overflow either to ±inf (IEEE semantics, e.g. FP16/E5M2) or
+  saturation to the largest finite value (the Transformer-Engine
+  convention for FP8-E4M3),
+* raw bit-pattern encode/decode for the sub-32-bit formats,
+* exact unit-in-the-last-place and dynamic-range queries.
+
+All quantisation is *value-exact*: the returned float64 array contains
+exactly the values representable in the target format, so downstream
+matmuls performed in float64 reproduce the products a real tensor core
+would form from those operands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat", "FP64", "FP32", "FP16", "BF16", "TF32",
+    "E4M3", "E5M2", "FORMATS", "get_format",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point format with 1 sign bit.
+
+    Parameters
+    ----------
+    name:
+        Short identifier, e.g. ``"fp16"``.
+    exp_bits:
+        Width of the biased exponent field.
+    man_bits:
+        Width of the explicit mantissa (trailing significand) field.
+    has_inf:
+        Whether the top exponent encodes ±inf/NaN (IEEE style).  When
+        False (FP8-E4M3), only the all-ones mantissa of the top exponent
+        is NaN and the rest of the top binade encodes finite values.
+    saturate_on_overflow:
+        Quantise out-of-range values to ±max_finite instead of ±inf.
+    storage_bits:
+        Bits a stored element occupies (may exceed 1+E+M, e.g. TF32
+        occupies 32 bits in memory/registers).
+    """
+
+    name: str
+    exp_bits: int
+    man_bits: int
+    has_inf: bool = True
+    saturate_on_overflow: bool = False
+    storage_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.exp_bits < 2 or self.exp_bits > 11:
+            raise ValueError("exp_bits out of supported range [2, 11]")
+        if self.man_bits < 0 or self.man_bits > 52:
+            raise ValueError("man_bits out of supported range [0, 52]")
+        if self.storage_bits is None:
+            object.__setattr__(
+                self, "storage_bits", 1 + self.exp_bits + self.man_bits
+            )
+
+    # -- derived constants -----------------------------------------------
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a finite normal number."""
+        # IEEE formats reserve the top exponent for inf/NaN; E4M3-style
+        # formats use it for finite values (except the NaN pattern).
+        top = (1 << self.exp_bits) - 1
+        return (top - 1 - self.bias) if self.has_inf else (top - self.bias)
+
+    @property
+    def emin(self) -> int:
+        """Unbiased exponent of the smallest normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_finite(self) -> float:
+        if self.has_inf:
+            frac = 2.0 - math.ldexp(1.0, -self.man_bits)
+        else:
+            # All-ones mantissa in the top binade is NaN, so the largest
+            # finite value has mantissa 111...10 (E4M3: 448 = 1.75 * 2^8).
+            frac = 2.0 - math.ldexp(2.0, -self.man_bits)
+            if self.man_bits == 0:
+                # Degenerate: no finite value exists in the top binade.
+                return math.ldexp(2.0 - 1.0, self.emax - 1)
+        return math.ldexp(frac, self.emax)
+
+    @property
+    def min_normal(self) -> float:
+        return math.ldexp(1.0, self.emin)
+
+    @property
+    def min_subnormal(self) -> float:
+        return math.ldexp(1.0, self.emin - self.man_bits)
+
+    @property
+    def machine_epsilon(self) -> float:
+        return math.ldexp(1.0, -self.man_bits)
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.storage_bits / 8.0
+
+    def ulp(self, x: float) -> float:
+        """Unit in the last place at magnitude ``x``."""
+        ax = abs(float(x))
+        if ax == 0.0 or ax < self.min_normal:
+            return self.min_subnormal
+        e = math.floor(math.log2(ax))
+        e = min(max(e, self.emin), self.emax)
+        return math.ldexp(1.0, e - self.man_bits)
+
+    # -- quantisation ------------------------------------------------------
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray:
+        """Round ``x`` to the nearest representable value (RNE).
+
+        Returns a float64 array whose every element is exactly
+        representable in this format (or ±inf / NaN).
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        out = arr.copy()
+        finite = np.isfinite(arr)
+
+        mant, exp = np.frexp(np.where(finite, arr, 0.0))
+        # frexp yields mant in [0.5, 1); IEEE convention wants [1, 2).
+        exp = exp - 1
+        # Clamp the quantisation step to the subnormal step below emin.
+        step_exp = np.maximum(exp, self.emin) - self.man_bits
+        step = np.ldexp(1.0, step_exp.astype(np.int64))
+        with np.errstate(invalid="ignore", over="ignore"):
+            q = np.round(arr / step) * step   # np.round is half-to-even
+
+        # Overflow handling.
+        over = finite & (np.abs(q) > self.max_finite)
+        with np.errstate(invalid="ignore"):
+            if self.saturate_on_overflow or not self.has_inf:
+                q = np.where(over, np.sign(arr) * self.max_finite, q)
+            else:
+                q = np.where(over, np.sign(arr) * np.inf, q)
+
+        out = np.where(finite, q, out)
+        if not self.has_inf:
+            # Formats without inf turn input infinities into NaN
+            # (matches the OCP FP8 E4M3 spec) unless saturating.
+            inf_mask = np.isinf(arr)
+            repl = (np.sign(arr) * self.max_finite
+                    if self.saturate_on_overflow else np.nan)
+            out = np.where(inf_mask, repl, out)
+        return out if out.ndim else out[()]
+
+    def representable(self, x: float) -> bool:
+        """True if ``x`` survives a quantisation round-trip unchanged."""
+        if math.isnan(x):
+            return True
+        q = float(self.quantize(x))
+        return q == x or (math.isinf(x) and math.isinf(q))
+
+    # -- raw bit patterns --------------------------------------------------
+
+    def to_bits(self, x: np.ndarray | float) -> np.ndarray:
+        """Encode already-quantised values to raw bit patterns.
+
+        Only supported for formats that fit in 16 payload bits or fewer
+        (FP16, BF16, the FP8s); TF32/FP32/FP64 round-trip through NumPy
+        dtypes instead.
+        """
+        if 1 + self.exp_bits + self.man_bits > 16:
+            raise NotImplementedError(
+                f"bit-pattern codec supports <=16-bit formats, "
+                f"not {self.name}"
+            )
+        arr = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        bits = np.zeros(arr.shape, dtype=np.uint16)
+        sign = (np.signbit(arr)).astype(np.uint16)
+
+        nan_mask = np.isnan(arr)
+        inf_mask = np.isinf(arr)
+        zero_mask = arr == 0.0
+        finite = ~(nan_mask | inf_mask | zero_mask)
+
+        mant_f, exp = np.frexp(np.where(finite, arr, 1.0))
+        exp = exp - 1
+        sub = finite & (exp < self.emin)
+        eff_exp = np.where(sub, self.emin, exp)
+        # significand as an integer count of min-step units
+        sig = np.where(
+            finite,
+            np.abs(np.where(finite, arr, 0.0))
+            / np.ldexp(1.0, (eff_exp - self.man_bits)),
+            0.0,
+        )
+        sig_int = np.rint(sig).astype(np.uint32)
+
+        biased = np.where(sub, 0, exp + self.bias).astype(np.int64)
+        mant_field = np.where(
+            sub, sig_int, sig_int - (1 << self.man_bits)
+        ).astype(np.uint16)
+
+        bits = np.where(
+            finite,
+            (sign << (self.exp_bits + self.man_bits))
+            | (biased.astype(np.uint16) << self.man_bits)
+            | mant_field,
+            bits,
+        ).astype(np.uint16)
+
+        top = (1 << self.exp_bits) - 1
+        if self.has_inf:
+            inf_bits = (top << self.man_bits)
+            nan_bits = inf_bits | (1 << max(self.man_bits - 1, 0))
+        else:
+            nan_bits = (top << self.man_bits) | ((1 << self.man_bits) - 1)
+            inf_bits = nan_bits  # no inf encoding: collapses to NaN
+        bits = np.where(
+            inf_mask,
+            (sign << (self.exp_bits + self.man_bits)) | inf_bits, bits
+        ).astype(np.uint16)
+        bits = np.where(nan_mask, nan_bits, bits).astype(np.uint16)
+        bits = np.where(
+            zero_mask, sign << (self.exp_bits + self.man_bits), bits
+        ).astype(np.uint16)
+        return bits if np.ndim(x) else bits[0]
+
+    def from_bits(self, bits: np.ndarray | int) -> np.ndarray:
+        """Decode raw bit patterns back to float64 values."""
+        if 1 + self.exp_bits + self.man_bits > 16:
+            raise NotImplementedError(
+                f"bit-pattern codec supports <=16-bit formats, "
+                f"not {self.name}"
+            )
+        b = np.atleast_1d(np.asarray(bits, dtype=np.uint16)).astype(np.int64)
+        sign = np.where((b >> (self.exp_bits + self.man_bits)) & 1, -1.0, 1.0)
+        biased = (b >> self.man_bits) & ((1 << self.exp_bits) - 1)
+        mant = b & ((1 << self.man_bits) - 1)
+        top = (1 << self.exp_bits) - 1
+
+        sub = biased == 0
+        exp = np.where(sub, self.emin, biased - self.bias)
+        sig = np.where(sub, mant, mant + (1 << self.man_bits)).astype(
+            np.float64
+        )
+        val = sign * sig * np.ldexp(1.0, (exp - self.man_bits).astype(int))
+
+        if self.has_inf:
+            special = biased == top
+            val = np.where(special & (mant == 0), sign * np.inf, val)
+            val = np.where(special & (mant != 0), np.nan, val)
+        else:
+            nan_pat = (biased == top) & (mant == (1 << self.man_bits) - 1)
+            val = np.where(nan_pat, np.nan, val)
+        return val if np.ndim(bits) else val[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} (e{self.exp_bits}m{self.man_bits}, "
+            f"max={self.max_finite:g})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The concrete formats the paper's tensor cores accept.
+# ---------------------------------------------------------------------------
+
+FP64 = FloatFormat("fp64", exp_bits=11, man_bits=52)
+FP32 = FloatFormat("fp32", exp_bits=8, man_bits=23)
+#: IEEE binary16 — the original Volta tensor-core input type.
+FP16 = FloatFormat("fp16", exp_bits=5, man_bits=10)
+#: bfloat16 — FP32 dynamic range with 8 mantissa bits.
+BF16 = FloatFormat("bf16", exp_bits=8, man_bits=7)
+#: TF32 — FP32 range, 10 explicit mantissa bits, stored in 32 bits.
+TF32 = FloatFormat("tf32", exp_bits=8, man_bits=10, storage_bits=32)
+#: FP8 E4M3 — no infinities, saturating (Transformer-Engine convention).
+E4M3 = FloatFormat(
+    "e4m3", exp_bits=4, man_bits=3, has_inf=False, saturate_on_overflow=True
+)
+#: FP8 E5M2 — IEEE-style with infinities, wide range / coarse precision.
+E5M2 = FloatFormat("e5m2", exp_bits=5, man_bits=2)
+
+FORMATS = {
+    f.name: f for f in (FP64, FP32, FP16, BF16, TF32, E4M3, E5M2)
+}
+# Convenience aliases used in benchmark tables.
+FORMATS["fp8"] = E4M3
+FORMATS["fp8_e4m3"] = E4M3
+FORMATS["fp8_e5m2"] = E5M2
+
+
+def get_format(name: str) -> FloatFormat:
+    """Look up a float format by name (``"fp16"``, ``"e4m3"``, ...)."""
+    try:
+        return FORMATS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown float format {name!r}; known: {sorted(FORMATS)}"
+        ) from None

@@ -1,0 +1,86 @@
+"""Integer tensor-core formats (INT8, INT4) and symmetric quantisation.
+
+Tensor cores treat integer inputs as signed two's-complement values and
+accumulate in INT32.  For AI workloads the interesting operation is the
+symmetric scale quantisation used to map float tensors onto the integer
+grid; both the grid arithmetic and the quantisation live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["IntFormat", "INT8", "INT4", "quantize_int", "dequantize_int"]
+
+
+@dataclass(frozen=True)
+class IntFormat:
+    """A signed two's-complement integer format."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 < self.bits <= 32:
+            raise ValueError("bits must be in (1, 32]")
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.bits / 8.0
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Saturate to the representable range (keeps integer dtype)."""
+        return np.clip(x, self.min_value, self.max_value)
+
+    def wrap(self, x: np.ndarray) -> np.ndarray:
+        """Two's-complement wrap-around (modular) semantics."""
+        span = 1 << self.bits
+        return ((np.asarray(x, dtype=np.int64) - self.min_value) % span
+                + self.min_value)
+
+    def representable(self, x: int) -> bool:
+        return self.min_value <= int(x) <= self.max_value
+
+
+INT8 = IntFormat("int8", 8)
+INT4 = IntFormat("int4", 4)
+INT32 = IntFormat("int32", 32)
+
+
+def quantize_int(
+    x: np.ndarray, fmt: IntFormat, *, scale: float | None = None
+) -> Tuple[np.ndarray, float]:
+    """Symmetric round-to-nearest quantisation of a float tensor.
+
+    Returns ``(q, scale)`` with ``q`` an int64 array on the format's
+    grid and ``x ≈ q * scale``.  When ``scale`` is not given it is
+    chosen from the tensor's absolute maximum so the full grid is used
+    (the Transformer-Engine convention for its INT paths).
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if scale is None:
+        amax = float(np.max(np.abs(arr))) if arr.size else 0.0
+        scale = amax / fmt.max_value if amax > 0 else 1.0
+        if scale == 0.0:  # amax so small the division underflowed
+            scale = 1.0
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    q = np.round(arr / scale)           # half-to-even, like the hardware
+    q = fmt.clip(q).astype(np.int64)
+    return q, scale
+
+
+def dequantize_int(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer-grid values back to float64."""
+    return np.asarray(q, dtype=np.float64) * scale

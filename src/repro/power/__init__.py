@@ -1,0 +1,26 @@
+"""Activity-based power and energy-efficiency model (Table XI).
+
+``P = P_idle + e_mac · MAC_rate · activity + e_byte · operand_rate``
+
+* ``e_mac`` is the per-*physical*-MAC energy (pJ), calibrated per
+  (architecture, input type, accumulator, dense/sparse) from the
+  paper's own wattmeter readings — these constants are primitive
+  measurements in the sense of DESIGN.md §6.  Sparse instructions
+  execute half the MACs but pay metadata-select energy, so their
+  per-physical-MAC cost is *higher* while per-useful-FLOP cost is
+  lower — which is exactly why Table XI's sparse rows win on
+  efficiency.
+* ``activity`` models datapath toggling: all-zero operands barely
+  switch any wires (≈0.35 of random-data power) — the mechanism behind
+  the paper's "Zero" vs "Rand" wgmma split: zero-initialised runs stay
+  under the H800-PCIe's 350 W cap and full throughput, random data
+  pushes past the cap and sheds frequency.
+* The throttle solves for the clock scale that brings total power back
+  to the cap.
+"""
+
+from __future__ import annotations
+
+from repro.power.model import PowerModel, PowerReport
+
+__all__ = ["PowerModel", "PowerReport"]

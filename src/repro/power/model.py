@@ -1,0 +1,198 @@
+"""The power/energy model implementation.
+
+See the package docstring for the model equation and calibration
+provenance.  Energy constants are expressed in pJ per *physical* MAC —
+for sparse instructions the hardware executes half the mathematical
+(2·k) MACs, the other half being pruned zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Tuple
+
+from repro.arch import Architecture, DeviceSpec
+from repro.isa.dtypes import DType
+
+__all__ = ["PowerModel", "PowerReport"]
+
+OpKind = Literal["mma", "wgmma"]
+DataKind = Literal["zero", "rand"]
+
+#: board idle power (W)
+_IDLE_WATTS: Dict[Architecture, float] = {
+    Architecture.AMPERE: 60.0,
+    Architecture.ADA: 55.0,
+    Architecture.HOPPER: 60.0,
+}
+
+#: dynamic power fraction of an all-zero operand stream
+_ZERO_ACTIVITY = 0.35
+
+#: shared-memory operand-stream energy (wgmma path), pJ/byte
+_SMEM_PJ_PER_BYTE = 2.6
+
+# (peak_key, accumulator ptx name, sparse) -> pJ per physical MAC
+_Key = Tuple[str, str, bool]
+
+_MMA_ENERGY_PJ: Dict[Architecture, Dict[_Key, float]] = {
+    Architecture.AMPERE: {
+        ("fp16", "f16", False): 0.730, ("fp16", "f16", True): 0.891,
+        ("fp16", "f32", False): 0.847, ("fp16", "f32", True): 1.035,
+        ("bf16", "f32", False): 0.847, ("bf16", "f32", True): 1.035,
+        ("tf32", "f32", False): 2.042, ("tf32", "f32", True): 2.331,
+        ("int8", "s32", False): 0.390, ("int8", "s32", True): 0.443,
+    },
+    Architecture.ADA: {
+        ("fp16", "f16", False): 0.750, ("fp16", "f16", True): 0.894,
+        ("fp16", "f32", False): 1.108, ("fp16", "f32", True): 1.246,
+        ("bf16", "f32", False): 1.108, ("bf16", "f32", True): 1.246,
+        ("tf32", "f32", False): 2.680, ("tf32", "f32", True): 2.974,
+        ("int8", "s32", False): 0.411, ("int8", "s32", True): 0.463,
+    },
+    Architecture.HOPPER: {
+        ("fp16", "f16", False): 0.520, ("fp16", "f16", True): 0.704,
+        ("fp16", "f32", False): 0.557, ("fp16", "f32", True): 0.748,
+        ("bf16", "f32", False): 0.557, ("bf16", "f32", True): 0.748,
+        ("tf32", "f32", False): 1.582, ("tf32", "f32", True): 1.899,
+        ("int8", "s32", False): 0.215, ("int8", "s32", True): 0.288,
+    },
+}
+
+#: wgmma path energies (Hopper only); the warp-group datapath engages
+#: the full 4th-gen array and differs from the legacy mma path.
+_WGMMA_ENERGY_PJ: Dict[_Key, float] = {
+    ("fp16", "f16", False): 0.721, ("fp16", "f16", True): 0.721,
+    ("fp16", "f32", False): 0.771, ("fp16", "f32", True): 0.771,
+    ("bf16", "f16", False): 0.721, ("bf16", "f16", True): 0.721,
+    ("bf16", "f32", False): 0.771, ("bf16", "f32", True): 0.771,
+    ("tf32", "f32", False): 1.420, ("tf32", "f32", True): 1.420,
+    ("fp8", "f16", False): 0.300, ("fp8", "f16", True): 0.300,
+    ("fp8", "f32", False): 0.306, ("fp8", "f32", True): 0.306,
+    ("int8", "s32", False): 0.300, ("int8", "s32", True): 0.300,
+}
+#: fallback per-MAC energy for pairings outside the calibrated set
+_DEFAULT_PJ = 1.0
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power and efficiency of one sustained tensor-core workload."""
+
+    power_watts: float
+    throttle_scale: float
+    throughput_tflops: float     # after throttling
+
+    @property
+    def efficiency_tflops_per_watt(self) -> float:
+        return self.throughput_tflops / self.power_watts
+
+
+class PowerModel:
+    """Per-device activity-based power model."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # -- components ----------------------------------------------------------
+
+    @property
+    def idle_watts(self) -> float:
+        return _IDLE_WATTS[self.device.architecture]
+
+    def _energy_pj(self, op: OpKind, ab: DType, cd: DType,
+                   sparse: bool) -> float:
+        key = (ab.peak_key, cd.ptx_name, sparse)
+        if op == "wgmma":
+            return _WGMMA_ENERGY_PJ.get(key, _DEFAULT_PJ)
+        return _MMA_ENERGY_PJ[self.device.architecture].get(
+            key, _DEFAULT_PJ
+        )
+
+    def dynamic_watts(
+        self,
+        *,
+        op: OpKind,
+        ab: DType,
+        cd: DType,
+        tflops: float,
+        sparse: bool = False,
+        operand_bytes_per_s: float = 0.0,
+        data: DataKind = "rand",
+    ) -> float:
+        """Dynamic power of a sustained stream at ``tflops``.
+
+        ``tflops`` counts *useful* FLOPs (the number the throughput
+        tables report); physical MACs are half of that for dense and a
+        quarter for 2:4 sparse (half the MACs are pruned away).
+        """
+        if tflops < 0 or operand_bytes_per_s < 0:
+            raise ValueError("rates must be non-negative")
+        physical_macs = tflops * 1e12 / (4.0 if sparse else 2.0)
+        e = self._energy_pj(op, ab, cd, sparse)
+        dyn = (e * physical_macs
+               + _SMEM_PJ_PER_BYTE * operand_bytes_per_s) * 1e-12
+        if data == "zero":
+            dyn *= _ZERO_ACTIVITY
+        return dyn
+
+    def total_watts(self, **kwargs) -> float:
+        return self.idle_watts + self.dynamic_watts(**kwargs)
+
+    # -- throttling ------------------------------------------------------------
+
+    def throttle_scale(
+        self,
+        *,
+        op: OpKind,
+        ab: DType,
+        cd: DType,
+        tflops: float,
+        sparse: bool = False,
+        operand_bytes_per_s: float = 0.0,
+    ) -> float:
+        """Clock scale enforcing the board power cap for random data.
+
+        Dynamic power is proportional to frequency, so the governor
+        settles at ``scale = (cap − idle) / dynamic_at_full_clock``
+        whenever the unthrottled total exceeds the cap.
+        """
+        dyn = self.dynamic_watts(
+            op=op, ab=ab, cd=cd, tflops=tflops, sparse=sparse,
+            operand_bytes_per_s=operand_bytes_per_s, data="rand",
+        )
+        budget = max(self.device.power_cap_watts - self.idle_watts, 0.0)
+        if dyn <= budget or dyn == 0.0:
+            return 1.0
+        return budget / dyn
+
+    # -- Table XI -------------------------------------------------------------
+
+    def report(
+        self,
+        *,
+        op: OpKind,
+        ab: DType,
+        cd: DType,
+        tflops: float,
+        sparse: bool = False,
+        operand_bytes_per_s: float = 0.0,
+        data: DataKind = "rand",
+    ) -> PowerReport:
+        """Steady-state power/efficiency, throttle applied."""
+        scale = 1.0
+        if data == "rand":
+            scale = self.throttle_scale(
+                op=op, ab=ab, cd=cd, tflops=tflops, sparse=sparse,
+                operand_bytes_per_s=operand_bytes_per_s,
+            )
+        achieved = tflops * scale
+        watts = self.idle_watts + self.dynamic_watts(
+            op=op, ab=ab, cd=cd, tflops=achieved, sparse=sparse,
+            operand_bytes_per_s=operand_bytes_per_s * scale, data=data,
+        )
+        return PowerReport(
+            power_watts=watts,
+            throttle_scale=scale,
+            throughput_tflops=achieved,
+        )

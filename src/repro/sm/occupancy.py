@@ -1,0 +1,91 @@
+"""SM occupancy calculator.
+
+Given a block's resource appetite (threads, registers, shared memory),
+computes how many blocks an SM can host concurrently — the CUDA
+occupancy rules.  The paper leans on this twice:
+
+* Fig 9: large histogram ``Nbins`` inflate per-block shared memory,
+  capping active blocks per SM; distributing bins across a cluster
+  restores concurrency.
+* Tables XIII/XIV: small block sizes under-populate SMs with warps, so
+  synchronous copies cannot hide their latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch import DeviceSpec
+
+__all__ = ["BlockConfig", "Occupancy", "occupancy"]
+
+#: register allocation granularity (registers are allocated per warp in
+#: multiples of 256 on all three architectures)
+_REG_ALLOC_UNIT = 256
+#: shared-memory allocation granularity
+_SMEM_ALLOC_UNIT = 1024
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """Resource appetite of one thread block."""
+
+    threads: int
+    regs_per_thread: int = 32
+    smem_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.threads <= 1024:
+            raise ValueError("block size must be in [1, 1024] threads")
+        if self.regs_per_thread < 0 or self.smem_bytes < 0:
+            raise ValueError("resources must be non-negative")
+
+    @property
+    def warps(self) -> int:
+        return math.ceil(self.threads / 32)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy computation for one (device, block)."""
+
+    blocks_per_sm: int
+    limiter: str
+
+    @property
+    def active(self) -> bool:
+        return self.blocks_per_sm > 0
+
+    def warps_per_sm(self, cfg: BlockConfig) -> int:
+        return self.blocks_per_sm * cfg.warps
+
+
+def occupancy(device: DeviceSpec, cfg: BlockConfig) -> Occupancy:
+    """Blocks of ``cfg`` an SM of ``device`` can run concurrently."""
+    limits: dict[str, float] = {}
+
+    limits["threads"] = device.max_threads_per_sm // cfg.threads
+    limits["blocks"] = device.max_blocks_per_sm
+
+    regs_per_warp = (
+        math.ceil(cfg.regs_per_thread * 32 / _REG_ALLOC_UNIT)
+        * _REG_ALLOC_UNIT
+    )
+    regs_per_block = regs_per_warp * cfg.warps
+    limits["registers"] = (
+        device.registers_per_sm // regs_per_block if regs_per_block else
+        device.max_blocks_per_sm
+    )
+
+    if cfg.smem_bytes:
+        smem_alloc = (
+            math.ceil(cfg.smem_bytes / _SMEM_ALLOC_UNIT) * _SMEM_ALLOC_UNIT
+        )
+        budget = device.cache.shared_max_kib * 1024
+        if smem_alloc > budget:
+            return Occupancy(0, "shared memory")
+        limits["shared memory"] = budget // smem_alloc
+
+    limiter = min(limits, key=limits.get)
+    return Occupancy(int(limits[limiter]), limiter)

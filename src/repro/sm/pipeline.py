@@ -1,0 +1,92 @@
+"""Issue/latency pipeline model (Little's law).
+
+The workhorse abstraction behind every latency-hiding argument in the
+paper: an execution pipe is characterised by its *completion latency*
+``L`` (cycles from issue until the result is usable — the quantity the
+paper's latency microbenchmarks measure) and its *initiation interval*
+``II`` (cycles between back-to-back independent issues).
+
+With ``W`` concurrent contexts (warps × per-warp ILP), the sustained
+issue rate is::
+
+    IPC = min(1 / II,  W / L)
+
+— either the pipe is saturated (one instruction per ``II``) or the
+instruction window is too small to cover the latency.  All throughput
+sweeps over warps/ILP (Figs 7, 8; Tables XIII, XIV) fall out of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PipeSpec",
+    "sustained_ipc",
+    "dependent_chain_cycles",
+    "throughput_cycles",
+]
+
+
+@dataclass(frozen=True)
+class PipeSpec:
+    """An execution pipe's timing signature."""
+
+    latency_clk: float
+    initiation_interval_clk: float
+
+    def __post_init__(self) -> None:
+        if self.latency_clk <= 0 or self.initiation_interval_clk <= 0:
+            raise ValueError("latency and II must be positive")
+        if self.initiation_interval_clk > self.latency_clk:
+            raise ValueError("II cannot exceed completion latency")
+
+    def ipc(self, inflight: float) -> float:
+        return sustained_ipc(
+            self.latency_clk, self.initiation_interval_clk, inflight
+        )
+
+
+def sustained_ipc(latency: float, ii: float, inflight: float) -> float:
+    """Sustained instructions per cycle for one pipe.
+
+    ``inflight`` is the number of independent instructions the issuing
+    contexts can keep in the pipe (warps × ILP).
+    """
+    if latency <= 0 or ii <= 0:
+        raise ValueError("latency and II must be positive")
+    if inflight <= 0:
+        return 0.0
+    return min(1.0 / ii, inflight / latency)
+
+
+def dependent_chain_cycles(latency: float, n: int) -> float:
+    """Cycles for ``n`` serially dependent instructions.
+
+    The paper's latency benchmarks time exactly this chain (one thread
+    issuing an instruction whose input is the previous output), so the
+    per-instruction cost *is* the completion latency.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return latency * n
+
+
+def throughput_cycles(
+    n: int,
+    *,
+    latency: float,
+    ii: float,
+    inflight: float,
+) -> float:
+    """Cycles to retire ``n`` instructions with ``inflight`` parallelism.
+
+    Pipeline fill (one latency) plus steady-state drain at the
+    sustained IPC.
+    """
+    if n <= 0:
+        return 0.0
+    ipc = sustained_ipc(latency, ii, inflight)
+    if ipc == 0.0:
+        raise ValueError("zero parallelism cannot make progress")
+    return latency + (n - 1) / ipc

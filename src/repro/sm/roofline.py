@@ -1,0 +1,82 @@
+"""Roofline model per device and precision.
+
+``achievable = min(peak_compute, intensity × memory_bandwidth)`` —
+the standard visual language for the compute-vs-memory-bound question
+every section of the paper circles.  Curves are generated from the
+calibrated device models, so the FP8/FP16/TF32 ceilings and the DRAM
+slope are exactly the ones the instruction benchmarks measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch import DeviceSpec
+from repro.sm.kernel import KernelSpec
+
+__all__ = ["RooflinePoint", "Roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    intensity_flops_per_byte: float
+    achievable_tflops: float
+    bound: str       # "memory" | "compute"
+
+
+class Roofline:
+    """Roofline calculator for one device."""
+
+    def __init__(self, device: DeviceSpec,
+                 precision: str = "fp16") -> None:
+        self.device = device
+        self.precision = precision
+
+    @property
+    def peak_tflops(self) -> float:
+        if self.precision == "fp32":
+            # CUDA-core FP32 (non-tensor) peak
+            return (2.0 * self.device.cuda_cores_per_sm
+                    * self.device.num_sms
+                    * self.device.clocks.observed_hz / 1e12)
+        return self.device.tc_peak_tflops(self.precision)
+
+    @property
+    def memory_bandwidth_tbps(self) -> float:
+        return self.device.dram.effective_bandwidth_gbps(0.8) / 1e3
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOP/B) where the roofs meet."""
+        return self.peak_tflops / self.memory_bandwidth_tbps
+
+    def achievable_tflops(self, intensity: float) -> float:
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return min(self.peak_tflops,
+                   intensity * self.memory_bandwidth_tbps)
+
+    def classify(self, intensity: float) -> str:
+        return "compute" if intensity >= self.ridge_point else "memory"
+
+    def place(self, spec: KernelSpec,
+              name: Optional[str] = None) -> RooflinePoint:
+        """Place a kernel spec on this roofline."""
+        i = spec.arithmetic_intensity
+        if i == float("inf"):
+            return RooflinePoint(name or spec.name, i,
+                                 self.peak_tflops, "compute")
+        return RooflinePoint(
+            name or spec.name,
+            i,
+            self.achievable_tflops(i),
+            self.classify(i),
+        )
+
+    def curve(self, intensities: List[float]) -> Dict[float, float]:
+        """Sampled roofline curve (for plotting / tabulation)."""
+        return {i: self.achievable_tflops(i) for i in intensities}

@@ -1,0 +1,105 @@
+"""Wave-based block scheduler.
+
+CUDA distributes blocks to SMs greedily; with uniform per-block work
+the grid executes in *waves* of ``num_sms × blocks_per_sm`` blocks.
+A grid of ``k · SMs + 1`` blocks therefore takes one extra full wave
+for a single straggler block — the mechanism behind the paper's DPX
+observation (§IV-E): throughput plummets just past SM-count multiples
+and peaks exactly at them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch import DeviceSpec
+from repro.sm.occupancy import BlockConfig, Occupancy, occupancy
+
+__all__ = ["KernelLaunch", "ScheduleResult", "schedule_blocks"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Grid/block (and optional cluster) shape of one kernel launch."""
+
+    num_blocks: int
+    block: BlockConfig
+    cluster_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if self.cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        if self.cluster_size > 1 and self.num_blocks % self.cluster_size:
+            raise ValueError(
+                "grid size must be a multiple of the cluster size"
+            )
+
+    @property
+    def num_clusters(self) -> int:
+        return self.num_blocks // self.cluster_size
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.block.threads
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """How a launch maps onto the machine."""
+
+    waves: int
+    blocks_per_sm: int
+    occupancy: Occupancy
+    utilization: float   # mean fraction of block slots busy over the run
+
+    @property
+    def full(self) -> bool:
+        return self.utilization >= 0.999
+
+
+def schedule_blocks(
+    device: DeviceSpec,
+    launch: KernelLaunch,
+    *,
+    blocks_per_sm_override: Optional[int] = None,
+) -> ScheduleResult:
+    """Schedule ``launch`` on ``device``.
+
+    ``utilization`` is ``num_blocks / (waves × capacity)`` — the mean
+    busy fraction across the run.  A kernel whose throughput scales
+    with busy block slots (like the DPX benchmark) achieves
+    ``peak × utilization``, which produces the sawtooth.
+
+    Clusters must be co-resident: a cluster's blocks occupy SMs of one
+    GPC together, so scheduling proceeds in cluster granules (every
+    block of a partially placeable cluster waits for the next wave).
+    """
+    occ = occupancy(device, launch.block)
+    if not occ.active:
+        raise ValueError(
+            f"block config {launch.block} cannot run on {device.name}: "
+            f"limited by {occ.limiter}"
+        )
+    bps = blocks_per_sm_override or occ.blocks_per_sm
+    bps = min(bps, occ.blocks_per_sm)
+    capacity = device.num_sms * bps
+    if launch.cluster_size > 1:
+        if launch.cluster_size > device.max_cluster_size:
+            raise ValueError(
+                f"cluster size {launch.cluster_size} exceeds "
+                f"{device.name}'s maximum {device.max_cluster_size}"
+            )
+        clusters_per_wave = max(capacity // launch.cluster_size, 1)
+        waves = math.ceil(launch.num_clusters / clusters_per_wave)
+        placeable = clusters_per_wave * launch.cluster_size
+        util = launch.num_blocks / (waves * placeable)
+    else:
+        waves = math.ceil(launch.num_blocks / capacity)
+        util = launch.num_blocks / (waves * capacity)
+    return ScheduleResult(
+        waves=waves, blocks_per_sm=bps, occupancy=occ, utilization=util
+    )

@@ -1,0 +1,99 @@
+"""FP8 accuracy study: quantisation error through real layers.
+
+The paper reports FP8's throughput; the natural companion question —
+*what does the precision cost?* — is answered here by running real
+NumPy forwards through :mod:`repro.te.modules` at each precision and
+measuring the deviation from the FP64 reference.  Used by the
+``examples/numerics_probe.py`` study and the test suite's accuracy
+bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.te.cost import Precision
+from repro.te.modules import Linear, TransformerLayer, \
+    TransformerLayerConfig, fp8_autocast
+
+__all__ = ["AccuracyReport", "linear_accuracy", "layer_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Relative error of one module at one precision."""
+
+    module: str
+    precision: Precision
+    rel_rms: float
+    rel_max: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.module} @ {self.precision.name}: "
+                f"rms {self.rel_rms:.2e}, max {self.rel_max:.2e}")
+
+
+def _errors(got: np.ndarray, ref: np.ndarray) -> tuple[float, float]:
+    denom = float(np.sqrt(np.mean(ref * ref))) or 1.0
+    rms = float(np.sqrt(np.mean((got - ref) ** 2))) / denom
+    scale = float(np.max(np.abs(ref))) or 1.0
+    mx = float(np.max(np.abs(got - ref))) / scale
+    return rms, mx
+
+
+def linear_accuracy(
+    in_features: int = 256,
+    out_features: int = 256,
+    batch: int = 64,
+    *,
+    seed: int = 0,
+    precisions: Optional[List[Precision]] = None,
+) -> List[AccuracyReport]:
+    """Forward error of te.Linear vs the exact FP64 matmul."""
+    rng = np.random.default_rng(seed)
+    lin = Linear(in_features, out_features, bias=False, rng=rng)
+    x = rng.normal(size=(batch, in_features))
+    ref = x @ lin.weight.T
+    reports = []
+    for p in precisions or [Precision.FP16, Precision.BF16,
+                            Precision.FP8]:
+        if p is Precision.FP8:
+            with fp8_autocast():
+                got = lin(x)
+        else:
+            got = lin(x, precision=p)
+        rms, mx = _errors(got, ref)
+        reports.append(AccuracyReport("Linear", p, rms, mx))
+    return reports
+
+
+def layer_accuracy(
+    hidden: int = 64,
+    seq: int = 16,
+    batch: int = 2,
+    *,
+    seed: int = 0,
+) -> Dict[Precision, AccuracyReport]:
+    """Forward error of a full TransformerLayer vs FP64.
+
+    Small dimensions keep the NumPy forward cheap; error *ratios*
+    between precisions are dimension-insensitive.
+    """
+    cfg = TransformerLayerConfig(hidden, 2 * hidden, 4)
+    rng = np.random.default_rng(seed)
+    layer = TransformerLayer(cfg, rng=rng)
+    x = rng.normal(size=(batch, seq, hidden))
+    ref = layer(x)       # default precision is FP16 for Linears
+    out: Dict[Precision, AccuracyReport] = {}
+    for p in (Precision.FP16, Precision.FP8):
+        if p is Precision.FP8:
+            with fp8_autocast():
+                got = layer(x)
+        else:
+            got = layer(x)
+        rms, mx = _errors(got, ref)
+        out[p] = AccuracyReport("TransformerLayer", p, rms, mx)
+    return out

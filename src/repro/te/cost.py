@@ -1,0 +1,181 @@
+"""Operator-level cost model for the Transformer-Engine analogue.
+
+Every TE operator is either
+
+* a **GEMM** — runs at the device's best sustained tensor-core rate
+  for its precision (``wgmma`` on Hopper, the long ``mma`` elsewhere;
+  FP32 inputs ride the TF32 path, as cuBLAS does by default), or
+* an **elementwise / reduction kernel** (casts, amax, scaling, norms,
+  activations, softmax) — DRAM-bandwidth bound,
+
+and every kernel pays a fixed launch overhead.  From these three
+ingredients the FP8 behaviour of Figs 3–5 emerges: at small sizes the
+quantise/amax/scale kernels (bytes ∝ N², several launches) dominate
+the GEMM (∝ N³), so FP8 loses to FP16; at N = 16384 the GEMM dwarfs
+the casts and FP8's 2× tensor-core rate shows through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch import DeviceSpec
+from repro.isa.dtypes import DType
+from repro.tensorcore.timing import TensorCoreTimingModel
+
+__all__ = ["Precision", "OpCost", "CostModel"]
+
+#: per-kernel launch + framework dispatch overhead, seconds
+_KERNEL_LAUNCH_S = 8e-6
+
+
+class Precision(enum.Enum):
+    """The compute precisions te.Linear can run in."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    FP8 = "fp8"
+
+    @property
+    def bytes(self) -> float:
+        return {"fp32": 4.0, "fp16": 2.0, "bf16": 2.0, "fp8": 1.0}[
+            self.value
+        ]
+
+    @property
+    def gemm_types(self) -> tuple[DType, DType]:
+        """(A/B type, accumulator) of the tensor-core path used."""
+        # FP16 inference GEMMs accumulate in FP16 (the cuBLAS default
+        # te.Linear hits) — this is what lets FP8 show its full 2× over
+        # FP16 on the RTX 4090, whose FP32-accumulate path is half rate.
+        return {
+            Precision.FP32: (DType.TF32, DType.FP32),
+            Precision.FP16: (DType.FP16, DType.FP16),
+            Precision.BF16: (DType.BF16, DType.FP32),
+            Precision.FP8: (DType.E4M3, DType.FP32),
+        }[self]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """One operator's cost contribution."""
+
+    name: str
+    seconds: float
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            name=f"{self.name}+{other.name}",
+            seconds=self.seconds + other.seconds,
+            flops=self.flops + other.flops,
+            bytes=self.bytes + other.bytes,
+        )
+
+
+class CostModel:
+    """Per-device operator timing."""
+
+    def __init__(self, device: DeviceSpec,
+                 launch_overhead_s: float = _KERNEL_LAUNCH_S) -> None:
+        self.device = device
+        self.launch_overhead_s = launch_overhead_s
+        self._tc = TensorCoreTimingModel(device)
+        self._gemm_rate_cache: dict[Precision, float] = {}
+
+    # -- primitive rates ------------------------------------------------------
+
+    def gemm_tflops(self, precision: Precision) -> float:
+        """Best sustained GEMM rate for a precision on this device."""
+        if precision not in self._gemm_rate_cache:
+            ab, cd = precision.gemm_types
+            if not self.device.tensor_core.supports(ab.peak_key):
+                raise ValueError(
+                    f"{self.device.name} has no {ab.peak_key} tensor "
+                    "cores"
+                )
+            self._gemm_rate_cache[precision] = \
+                self._tc.best_dense_tflops(ab, cd)
+        return self._gemm_rate_cache[precision]
+
+    @property
+    def membw_bytes_per_s(self) -> float:
+        return self.device.dram.effective_bandwidth_gbps(0.6) * 1e9
+
+    # -- operator costs -----------------------------------------------------------
+
+    def gemm(self, m: int, n: int, k: int,
+             precision: Precision, *, name: str = "gemm",
+             efficiency: float = 0.85) -> OpCost:
+        """One GEMM kernel.  ``efficiency`` covers tile quantisation and
+        epilogue overheads of a real GEMM kernel vs raw instruction
+        throughput."""
+        if min(m, n, k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        flops = 2.0 * m * n * k
+        compute = flops / (self.gemm_tflops(precision) * 1e12 * efficiency)
+        io_bytes = precision.bytes * (m * k + k * n) + 4.0 * m * n
+        io = io_bytes / self.membw_bytes_per_s
+        return OpCost(name, max(compute, io) + self.launch_overhead_s,
+                      flops=flops, bytes=io_bytes)
+
+    def elementwise(self, nbytes: float, *, name: str = "elementwise",
+                    launches: int = 1) -> OpCost:
+        """A bandwidth-bound kernel moving ``nbytes`` total."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return OpCost(
+            name,
+            nbytes / self.membw_bytes_per_s
+            + launches * self.launch_overhead_s,
+            bytes=nbytes,
+        )
+
+    def cast_to_fp8(self, elements: int, src_bytes: float = 2.0,
+                    *, name: str = "cast_fp8") -> OpCost:
+        """amax reduction + quantise kernel: read source, write FP8."""
+        nbytes = elements * (2 * src_bytes + 1.0)  # amax read + q read/write
+        return self.elementwise(nbytes, name=name, launches=2)
+
+    def scale_output(self, elements: int, out_bytes: float = 2.0,
+                     *, name: str = "scale_out") -> OpCost:
+        """De-scale the FP8 GEMM output back to working precision."""
+        return self.elementwise(elements * 2 * out_bytes, name=name)
+
+    # -- composite: te.Linear ---------------------------------------------------------
+
+    def linear(self, m: int, n: int, k: int, precision: Precision,
+               *, cache_weight_cast: bool = True,
+               include_overheads: bool = True) -> List[OpCost]:
+        """Full te.Linear cost breakdown: ``(m×k) @ (k×n)``.
+
+        Under FP8 the input is amax-scaled and quantised, the weight
+        cast is amortised when ``cache_weight_cast`` (TE caches it
+        across microbatches), and the output is scaled back — the
+        operator mix Fig 3 plots.  ``include_overheads=False`` is the
+        ablation switch that removes every non-GEMM operator.
+        """
+        ops: List[OpCost] = []
+        if precision is Precision.FP8 and include_overheads:
+            ops.append(self.cast_to_fp8(m * k, name="quantize_input"))
+            if not cache_weight_cast:
+                ops.append(self.cast_to_fp8(k * n, name="quantize_weight"))
+        ops.append(self.gemm(m, n, k, precision))
+        if precision is Precision.FP8 and include_overheads:
+            ops.append(self.scale_output(m * n))
+        return ops
+
+    def linear_seconds(self, m: int, n: int, k: int,
+                       precision: Precision, **kw) -> float:
+        return sum(op.seconds for op in self.linear(m, n, k, precision,
+                                                    **kw))
+
+    def linear_tflops(self, n: int, precision: Precision, **kw) -> float:
+        """The Fig 4 metric: achieved GFLOPS of an N×N×N te.Linear,
+        reported in TFLOPS here."""
+        secs = self.linear_seconds(n, n, n, precision, **kw)
+        return 2.0 * n ** 3 / secs / 1e12

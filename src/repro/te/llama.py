@@ -1,0 +1,136 @@
+"""A functional decode-only Llama, end to end.
+
+The cost model in :mod:`repro.te.llm` prices generation; this module
+*performs* it (at toy scale): token embedding → a stack of
+:class:`~repro.te.modules.TransformerLayer` (RMSNorm + SwiGLU, the
+paper's §III-C2 configuration) with a causal mask → final norm →
+tied-embedding logits → greedy decoding.  Under ``fp8_autocast`` every
+Linear runs the real FP8 recipe, so the numerics of FP8 generation are
+observable, not just its throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.te.modules import (
+    RMSNorm,
+    TransformerLayer,
+    TransformerLayerConfig,
+)
+
+__all__ = ["TinyLlamaConfig", "TinyLlama"]
+
+
+@dataclass(frozen=True)
+class TinyLlamaConfig:
+    """A scaled-down Llama architecture (same shape grammar)."""
+
+    vocab_size: int = 256
+    hidden: int = 64
+    layers: int = 2
+    heads: int = 4
+    ffn_hidden: int = 128
+    max_seq: int = 128
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads:
+            raise ValueError("hidden must divide by heads")
+        if min(self.vocab_size, self.layers, self.max_seq) < 1:
+            raise ValueError("config values must be positive")
+
+    @property
+    def layer_config(self) -> TransformerLayerConfig:
+        return TransformerLayerConfig(
+            self.hidden, self.ffn_hidden, self.heads,
+            activation="swiglu", normalization="rmsnorm",
+        )
+
+    @property
+    def params(self) -> int:
+        """Approximate parameter count (embeddings + layers)."""
+        h, f = self.hidden, self.ffn_hidden
+        per_layer = 3 * h * h + h * h + 2 * f * h + f * h + 2 * h
+        return self.vocab_size * h + self.layers * per_layer + h
+
+
+class TinyLlama:
+    """Functional decoder-only transformer."""
+
+    def __init__(self, config: TinyLlamaConfig, *, seed: int = 0
+                 ) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(config.hidden)
+        self.embedding = rng.normal(
+            0.0, scale, (config.vocab_size, config.hidden))
+        self.layers = [
+            TransformerLayer(config.layer_config,
+                             rng=np.random.default_rng(seed + 1 + i))
+            for i in range(config.layers)
+        ]
+        self.final_norm = RMSNorm(config.hidden)
+
+    # -- forward ------------------------------------------------------------
+
+    def _causal_mask(self, seq: int) -> np.ndarray:
+        return np.tril(np.ones((seq, seq), dtype=bool))[None, None]
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Logits over the vocabulary, shape (batch, seq, vocab)."""
+        ids = np.atleast_2d(np.asarray(token_ids))
+        if ids.ndim != 2:
+            raise ValueError("token_ids must be (batch, seq)")
+        if ids.shape[1] > self.config.max_seq:
+            raise ValueError(
+                f"sequence {ids.shape[1]} exceeds max_seq "
+                f"{self.config.max_seq}"
+            )
+        if ids.min() < 0 or ids.max() >= self.config.vocab_size:
+            raise ValueError("token id out of vocabulary")
+        x = self.embedding[ids]                      # (b, s, h)
+        mask = self._causal_mask(ids.shape[1])
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        x = self.final_norm(x)
+        return x @ self.embedding.T                  # tied lm head
+
+    def next_token_distribution(self, token_ids: np.ndarray
+                                ) -> np.ndarray:
+        logits = self.forward(token_ids)[:, -1, :]
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        p = np.exp(logits)
+        return p / p.sum(axis=-1, keepdims=True)
+
+    # -- generation -----------------------------------------------------------
+
+    def generate(self, prompt: List[int], max_new_tokens: int,
+                 *, seed: Optional[int] = None) -> List[int]:
+        """Greedy (or seeded-sampled) continuation of ``prompt``."""
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        ids = list(prompt)
+        rng = np.random.default_rng(seed) if seed is not None else None
+        for _ in range(max_new_tokens):
+            ctx = np.array([ids[-self.config.max_seq:]])
+            p = self.next_token_distribution(ctx)[0]
+            if rng is None:
+                nxt = int(np.argmax(p))
+            else:
+                nxt = int(rng.choice(self.config.vocab_size, p=p))
+            ids.append(nxt)
+        return ids
+
+    def log_likelihood(self, token_ids: List[int]) -> float:
+        """Mean log-probability of each token given its prefix."""
+        if len(token_ids) < 2:
+            raise ValueError("need at least two tokens")
+        ids = np.array([token_ids])
+        logits = self.forward(ids)[0]
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        logp = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        targets = ids[0, 1:]
+        return float(np.mean(logp[np.arange(len(targets)), targets]))

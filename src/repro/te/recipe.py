@@ -1,0 +1,90 @@
+"""FP8 scaling recipes: just-in-time vs delayed (amax history).
+
+Transformer Engine's production recipe does not compute the scale from
+the *current* tensor (that would serialise an extra reduction before
+every GEMM); it uses a **delayed** scale derived from a rolling window
+of past amax observations (``amax_history_len``) backed off by
+``margin`` powers of two.  The cost: when activations grow faster than
+the history window adapts, values saturate.
+
+:class:`DelayedScaling` implements the recipe; the tests quantify the
+staleness effect the ``margin`` knob exists to absorb.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Literal
+
+import numpy as np
+
+from repro.numerics import E4M3, FloatFormat
+from repro.numerics.quantize import QuantizedTensor
+
+__all__ = ["DelayedScaling"]
+
+
+@dataclass
+class DelayedScaling:
+    """Rolling-amax FP8 scaling state for one tensor slot."""
+
+    fmt: FloatFormat = E4M3
+    amax_history_len: int = 16
+    margin: float = 0.0
+    amax_compute: Literal["max", "most_recent"] = "max"
+    _history: Deque[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.amax_history_len < 1:
+            raise ValueError("history length must be >= 1")
+        if self.margin < 0:
+            raise ValueError("margin must be non-negative")
+        self._history = deque(maxlen=self.amax_history_len)
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def history(self) -> list[float]:
+        return list(self._history)
+
+    def observe(self, x: np.ndarray) -> None:
+        """Record a tensor's amax without quantising (warm-up step)."""
+        amax = float(np.max(np.abs(x))) if np.size(x) else 0.0
+        if np.isfinite(amax):
+            self._history.append(amax)
+
+    def current_scale(self) -> float:
+        """Scale derived from history (1.0 before any observation)."""
+        if not self._history:
+            return 1.0
+        if self.amax_compute == "most_recent":
+            amax = self._history[-1]
+        else:
+            amax = max(self._history)
+        if amax == 0.0:
+            return 1.0
+        return amax / (self.fmt.max_finite * 2.0 ** (-self.margin))
+
+    # -- quantisation ------------------------------------------------------
+
+    def quantize(self, x: np.ndarray) -> QuantizedTensor:
+        """Quantise with the *delayed* scale, then record this
+        tensor's amax for future steps — TE's exact ordering."""
+        arr = np.asarray(x, dtype=np.float64)
+        scale = self.current_scale()
+        qt = QuantizedTensor(
+            data=self.fmt.quantize(arr / scale), scale=scale,
+            fmt=self.fmt,
+        )
+        self.observe(arr)
+        return qt
+
+    def saturation_fraction(self, x: np.ndarray) -> float:
+        """Fraction of elements that would clip at the current scale —
+        the observable symptom of a stale amax."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.size == 0:
+            return 0.0
+        limit = self.current_scale() * self.fmt.max_finite
+        return float(np.mean(np.abs(arr) > limit))

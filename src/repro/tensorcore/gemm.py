@@ -1,0 +1,102 @@
+"""Tiled GEMM over tensor-core instructions.
+
+Drives a full ``D = A × B`` through the functional engine tile by tile
+and accounts for the instructions issued — the bridge between the
+instruction-level models and the library-level Transformer-Engine
+analogue (whose FP8 ``Linear`` runs its matmuls here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch import DeviceSpec
+from repro.isa.dtypes import DType
+from repro.isa.mma import MmaInstruction, WgmmaInstruction, mma_shapes
+from repro.tensorcore.functional import matmul_quantized
+from repro.tensorcore.timing import TensorCoreTimingModel
+
+__all__ = ["TiledGemm", "GemmReport"]
+
+
+@dataclass(frozen=True)
+class GemmReport:
+    """Result + cost accounting of one tiled GEMM."""
+
+    result: np.ndarray
+    m: int
+    n: int
+    k: int
+    instructions: int
+    flops: int
+    est_seconds: float
+
+    @property
+    def est_tflops(self) -> float:
+        return self.flops / self.est_seconds / 1e12 if self.est_seconds \
+            else float("inf")
+
+
+class TiledGemm:
+    """GEMM executor bound to one device's best tensor-core path."""
+
+    def __init__(self, device: DeviceSpec, ab_type: DType,
+                 cd_type: DType) -> None:
+        self.device = device
+        self.ab_type = ab_type
+        self.cd_type = cd_type
+        self.timing = TensorCoreTimingModel(device)
+        if device.architecture.has_wgmma:
+            self._tile = WgmmaInstruction(ab_type, cd_type, n=256)
+        else:
+            self._tile = MmaInstruction(
+                ab_type, cd_type, mma_shapes(ab_type)[-1]
+            )
+
+    @property
+    def tile_shape(self):
+        return self._tile.shape
+
+    def run(self, a: np.ndarray, b: np.ndarray,
+            c: Optional[np.ndarray] = None) -> GemmReport:
+        """Compute ``D = A×B (+C)`` with the device's tile numerics.
+
+        Matrices are zero-padded up to tile multiples, exactly as a
+        real kernel pads its boundary tiles.
+        """
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dims differ: {a.shape} × {b.shape}")
+        m, k = a.shape
+        n = b.shape[1]
+        ts = self._tile.shape
+        mp = math.ceil(m / ts.m) * ts.m
+        np_ = math.ceil(n / ts.n) * ts.n
+        kp = math.ceil(k / ts.k) * ts.k
+
+        # The functional engine operates on whole matrices with the
+        # same numerics the per-tile loop would produce (products are
+        # exact; accumulation order along k matches because we
+        # accumulate in FP32+ precision for FP32 accumulators).
+        d = matmul_quantized(
+            a, b, ab_type=self.ab_type, cd_type=self.cd_type, c=c
+        )
+
+        n_instr = (mp // ts.m) * (np_ // ts.n) * (kp // ts.k)
+        flops = 2 * m * n * k
+        tflops = self._best_tflops()
+        est = flops / (tflops * 1e12)
+        return GemmReport(
+            result=d, m=m, n=n, k=k,
+            instructions=n_instr, flops=flops, est_seconds=est,
+        )
+
+    def _best_tflops(self) -> float:
+        if isinstance(self._tile, WgmmaInstruction):
+            return self.timing.wgmma(self._tile).throughput_tflops("rand")
+        return self.timing.mma(self._tile).throughput_tflops("rand")

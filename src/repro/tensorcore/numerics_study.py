@@ -1,0 +1,158 @@
+"""Tensor-core numeric-behaviour probes (Fasi et al. style).
+
+The paper cites the numeric-behaviour dissection of tensor cores
+(rounding modes, subnormal support, accumulation order).  This module
+implements those probes against the functional engine, so the modelled
+numerics can be audited the same way the silicon was:
+
+* products are formed exactly (no rounding before accumulation),
+* FP32 accumulation preserves addends FP16 accumulation swallows,
+* FP16 accumulation rounds to nearest even after every step,
+* subnormal inputs and outputs are honoured (no flush-to-zero),
+* TF32 truncates FP32 inputs to 10 mantissa bits,
+* FP8 E4M3 saturates while E5M2 overflows to infinity.
+
+Each probe returns a :class:`ProbeResult` so the behaviours can be
+tabulated (see ``examples/numerics_probe.py``) and asserted in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+from repro.numerics import E4M3, E5M2, FP16
+from repro.tensorcore.functional import matmul_quantized
+
+__all__ = ["ProbeResult", "run_all_probes"]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one numeric probe."""
+
+    name: str
+    behaviour: str
+    passed: bool
+    detail: str = ""
+
+
+def _dot(a_vals, b_vals, ab: DType, cd: DType) -> float:
+    a = np.array([a_vals], dtype=np.float64)
+    b = np.array(b_vals, dtype=np.float64).reshape(-1, 1)
+    return float(matmul_quantized(a, b, ab_type=ab, cd_type=cd)[0, 0])
+
+
+def probe_exact_products() -> ProbeResult:
+    """Products of representable FP16 values enter the accumulator
+    unrounded: (1+2^-10)² has a 2^-20 term only an exact multiplier
+    keeps."""
+    v = 1.0 + 2.0 ** -10
+    got = _dot([v], [v], DType.FP16, DType.FP32)
+    exact = v * v
+    return ProbeResult(
+        "exact products", "full-precision multiply",
+        got == float(np.float32(exact)),
+        f"got {got!r}, exact {exact!r}",
+    )
+
+
+def probe_fp32_accumulation_keeps_small_addends() -> ProbeResult:
+    k = 16
+    a = [1.0] + [2.0 ** -11] * (k - 1)
+    b = [1.0] * k
+    got = _dot(a, b, DType.FP16, DType.FP32)
+    return ProbeResult(
+        "FP32 accumulation", "small addends preserved",
+        got > 1.0,
+        f"1 + 15·2^-11 -> {got!r}",
+    )
+
+
+def probe_fp16_accumulation_swallows() -> ProbeResult:
+    k = 16
+    a = [1.0] + [2.0 ** -12] * (k - 1)
+    b = [1.0] * k
+    got = _dot(a, b, DType.FP16, DType.FP16)
+    return ProbeResult(
+        "FP16 accumulation", "sub-ulp addends rounded away each step",
+        got == 1.0,
+        f"1 + 15·2^-12 -> {got!r}",
+    )
+
+
+def probe_fp16_rne_each_step() -> ProbeResult:
+    """Ties round to even: a half-ulp addend stays at 1.0 (even
+    mantissa below), a 1.5-ulp addend jumps TWO ulps to the even
+    neighbour 1+2^-9 rather than the odd 1+2^-10."""
+    half_ulp = 2.0 ** -11
+    stay = _dot([1.0, half_ulp], [1.0, 1.0], DType.FP16, DType.FP16)
+    jump = _dot([1.0, 3 * half_ulp], [1.0, 1.0], DType.FP16,
+                DType.FP16)
+    return ProbeResult(
+        "round-to-nearest-even", "ties to even per accumulation step",
+        stay == 1.0 and jump == 1.0 + 2.0 ** -9,
+        f"half-ulp -> {stay!r}, 1.5 ulp -> {jump!r}",
+    )
+
+
+def probe_subnormals_supported() -> ProbeResult:
+    sub = FP16.min_subnormal * 4
+    got = _dot([sub], [1.0], DType.FP16, DType.FP32)
+    return ProbeResult(
+        "subnormal inputs", "no flush-to-zero",
+        got == sub,
+        f"{sub!r} · 1.0 -> {got!r}",
+    )
+
+
+def probe_tf32_truncation() -> ProbeResult:
+    v = 1.0 + 2.0 ** -11       # needs 11 mantissa bits
+    got = _dot([v], [1.0], DType.TF32, DType.FP32)
+    return ProbeResult(
+        "TF32 input precision", "10 explicit mantissa bits",
+        got == 1.0,
+        f"(1+2^-11) as TF32 -> {got!r}",
+    )
+
+
+def probe_fp8_overflow_split() -> ProbeResult:
+    sat = float(E4M3.quantize(1e4))
+    inf = float(E5M2.quantize(1e6))
+    return ProbeResult(
+        "FP8 overflow", "E4M3 saturates, E5M2 -> inf",
+        sat == 448.0 and math.isinf(inf),
+        f"E4M3(1e4)={sat}, E5M2(1e6)={inf}",
+    )
+
+
+def probe_int32_wraparound() -> ProbeResult:
+    k = 300
+    got = _dot([127.0] * k, [127.0] * k, DType.INT8, DType.INT32)
+    expect = (127 * 127 * k + 2 ** 31) % 2 ** 32 - 2 ** 31
+    return ProbeResult(
+        "INT32 accumulator", "two's-complement wraparound",
+        got == expect,
+        f"sum 300·127² -> {got}",
+    )
+
+
+_PROBES: List[Callable[[], ProbeResult]] = [
+    probe_exact_products,
+    probe_fp32_accumulation_keeps_small_addends,
+    probe_fp16_accumulation_swallows,
+    probe_fp16_rne_each_step,
+    probe_subnormals_supported,
+    probe_tf32_truncation,
+    probe_fp8_overflow_split,
+    probe_int32_wraparound,
+]
+
+
+def run_all_probes() -> List[ProbeResult]:
+    """Execute every numeric probe."""
+    return [p() for p in _PROBES]

@@ -1,0 +1,129 @@
+"""2:4 structured sparsity (the ``mma.sp`` / ``wgmma.sp`` data path).
+
+Sparse tensor cores require matrix A in *2:4 structured-sparse* form:
+in every group of four consecutive elements along k, at most two are
+non-zero.  The operand is stored compressed — the two surviving values
+plus 2-bit metadata indices per value — and the hardware expands it
+against B on the fly.
+
+This module provides magnitude-based pruning (the standard recipe),
+compression/decompression, and pattern validation; the functional
+sparse MMA is "decompress + dense MMA", which is numerically exactly
+what the silicon computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "prune_2_4",
+    "compress_2_4",
+    "decompress_2_4",
+    "SparseOperand",
+    "sparsity_pattern_valid",
+]
+
+GROUP = 4       #: elements per sparsity group along k
+KEEP = 2        #: survivors per group
+
+
+def _check_k(a: np.ndarray) -> None:
+    if a.ndim != 2:
+        raise ValueError("operand must be 2-D (m × k)")
+    if a.shape[1] % GROUP:
+        raise ValueError(
+            f"k dimension ({a.shape[1]}) must be a multiple of {GROUP}"
+        )
+
+
+def prune_2_4(a: np.ndarray) -> np.ndarray:
+    """Zero the two smallest-magnitude elements of every group of 4.
+
+    Ties break toward keeping the earlier element, matching cuSPARSELt's
+    deterministic behaviour.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    _check_k(a)
+    m, k = a.shape
+    groups = a.reshape(m, k // GROUP, GROUP)
+    # argsort is stable; take the KEEP largest magnitudes per group.
+    order = np.argsort(-np.abs(groups), axis=2, kind="stable")
+    keep_idx = np.sort(order[:, :, :KEEP], axis=2)
+    mask = np.zeros_like(groups, dtype=bool)
+    np.put_along_axis(mask, keep_idx, True, axis=2)
+    return np.where(mask, groups, 0.0).reshape(m, k)
+
+
+def sparsity_pattern_valid(a: np.ndarray) -> bool:
+    """True iff every group of 4 along k has ≤ 2 non-zeros."""
+    a = np.asarray(a, dtype=np.float64)
+    _check_k(a)
+    m, k = a.shape
+    nz = (a.reshape(m, k // GROUP, GROUP) != 0.0).sum(axis=2)
+    return bool(np.all(nz <= KEEP))
+
+
+@dataclass(frozen=True)
+class SparseOperand:
+    """Compressed 2:4 operand: values (m × k/2) + metadata indices.
+
+    ``metadata`` holds, per kept value, its 2-bit position within the
+    group — 2 bits × (k/2) per row, matching the hardware layout the
+    instruction's ``operand_bytes()['meta']`` accounts for.
+    """
+
+    values: np.ndarray      # (m, k // 2) float64
+    metadata: np.ndarray    # (m, k // 2) uint8, entries in [0, 4)
+    k: int                  # original (uncompressed) k
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.metadata.shape:
+            raise ValueError("values and metadata shapes differ")
+        if self.values.shape[1] * 2 != self.k:
+            raise ValueError("compressed width must be k/2")
+        if np.any(self.metadata >= GROUP):
+            raise ValueError("metadata indices must be in [0, 4)")
+
+    @property
+    def m(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def compressed_bytes(self) -> float:
+        """Storage: values at the element width are counted by callers;
+        metadata is 2 bits per kept element."""
+        return self.values.size * 2 / 8.0
+
+
+def compress_2_4(a: np.ndarray) -> SparseOperand:
+    """Compress a (possibly unpruned) matrix to 2:4 form.
+
+    Prunes first if the pattern is not already valid.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    _check_k(a)
+    if not sparsity_pattern_valid(a):
+        a = prune_2_4(a)
+    m, k = a.shape
+    groups = a.reshape(m, k // GROUP, GROUP)
+    order = np.argsort(-np.abs(groups), axis=2, kind="stable")
+    keep_idx = np.sort(order[:, :, :KEEP], axis=2)       # (m, k/4, 2)
+    vals = np.take_along_axis(groups, keep_idx, axis=2)  # (m, k/4, 2)
+    return SparseOperand(
+        values=vals.reshape(m, k // 2),
+        metadata=keep_idx.reshape(m, k // 2).astype(np.uint8),
+        k=k,
+    )
+
+
+def decompress_2_4(op: SparseOperand) -> np.ndarray:
+    """Expand a compressed operand back to dense (m × k)."""
+    m = op.m
+    groups = np.zeros((m, op.k // GROUP, GROUP), dtype=np.float64)
+    vals = op.values.reshape(m, op.k // GROUP, KEEP)
+    idx = op.metadata.reshape(m, op.k // GROUP, KEEP).astype(np.int64)
+    np.put_along_axis(groups, idx, vals, axis=2)
+    return groups.reshape(m, op.k)

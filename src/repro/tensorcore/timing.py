@@ -1,0 +1,396 @@
+"""Tensor-core latency and throughput timing model (Tables VII–X).
+
+Three mechanisms, composed:
+
+1. **Pipe tables** (``mma``).  Each architecture has a characteristic
+   completion latency and issue efficiency per instruction "depth"
+   (``steps`` = k / min-k, i.e. whether the shape is the short or the
+   long variant).  Efficiencies are calibrated from microbenchmarks the
+   way validated simulators calibrate pipe tables — and they *are* the
+   paper's finding: Hopper's legacy warp-level ``mma`` path reaches
+   only ≈49 %/65 % of the 4th-gen tensor core's issue rate, so the
+   H800 averages ~63 % of peak through ``mma`` while A100/RTX 4090
+   saturate theirs.
+
+2. **The dependent-accumulator chain** (``wgmma``).  The benchmark (and
+   any real GEMM inner loop) chains ``D = A×B + D``, so a new wgmma
+   cannot complete before its predecessor's D is ready: the sustained
+   issue interval tracks the *completion latency* (times a small
+   pipeline-bubble stretch), and latency itself scales as N/2 cycles.
+   Throughput therefore saturates for N ≥ 64 and collapses with small
+   N — Table X's shape, derived.
+
+3. **Shared-memory port pressure**.  wgmma operands stream from shared
+   memory at the SM's 128 B/clk.  Dense SS and RS tie (B traffic fits
+   under the compute time).  *Sparse* SS mode must fetch the unpruned
+   m×2k A tile and prune on the fly: the extra m×k·sizeof(elem) bytes
+   cost exactly ``2048 B / 128 B/clk = 16`` cycles — which is
+   precisely the 144-vs-128 cycle latency split of Table IX, for every
+   data type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal
+
+from repro.arch import Architecture, DeviceSpec
+from repro.isa.dtypes import DType
+from repro.isa.lowering import UnsupportedInstruction, lower
+from repro.isa.mma import (
+    MmaInstruction,
+    OperandSource,
+    WgmmaInstruction,
+    mma_shapes,
+)
+
+__all__ = ["MmaTiming", "WgmmaTiming", "TensorCoreTimingModel"]
+
+InitKind = Literal["zero", "rand"]
+
+# --------------------------------------------------------------------------
+# mma calibration tables  (steps = k / min-k ∈ {1, 2})
+# --------------------------------------------------------------------------
+
+#: completion latency in cycles: arch -> {steps: clk}
+_MMA_LATENCY: Dict[Architecture, Dict[int, float]] = {
+    Architecture.AMPERE: {1: 17.7, 2: 25.5},
+    Architecture.ADA: {1: 17.5, 2: 24.6},
+    Architecture.HOPPER: {1: 16.0, 2: 24.1},
+}
+#: Ada pays double-pumped FP32 accumulation on its consumer tensor cores
+_ADA_F32ACC_LATENCY: Dict[int, float] = {1: 19.0, 2: 33.2}
+
+#: issue efficiency (achieved / peak issue rate): arch -> sparse -> steps
+_MMA_EFFICIENCY: Dict[Architecture, Dict[bool, Dict[int, float]]] = {
+    Architecture.AMPERE: {
+        False: {1: 0.99, 2: 0.99},
+        True: {1: 0.645, 2: 0.99},
+    },
+    Architecture.ADA: {
+        False: {1: 0.99, 2: 0.99},
+        True: {1: 0.99, 2: 0.99},
+    },
+    # The paper's headline mma finding: Hopper's legacy path cannot
+    # saturate 4th-gen tensor cores, sparse even less so.
+    Architecture.HOPPER: {
+        False: {1: 0.487, 2: 0.651},
+        True: {1: 0.324, 2: 0.477},
+    },
+}
+
+#: fraction of peak the Ada FP32-accumulate path retains (fp16/bf16 in)
+_ADA_F32ACC_RATE = 0.5
+
+#: number of tensor-core pipes per SM (one per scheduler sub-partition)
+_PIPES_PER_SM = 4
+
+# --------------------------------------------------------------------------
+# wgmma calibration
+# --------------------------------------------------------------------------
+
+#: minimum wgmma completion latency (pipe depth floor), cycles
+_WGMMA_MIN_LATENCY = 13.0
+#: sparse RS floor is slightly deeper (metadata select stage)
+_WGMMA_SPARSE_RS_FLOOR = 17.0
+#: pipeline-bubble stretch of the dependent-accumulator chain
+_WGMMA_CHAIN_STRETCH = 1.12
+#: compute-bound efficiency (scoreboard overhead at full tilt)
+_WGMMA_COMPUTE_EFF = 0.965
+
+
+def _wgmma_ss_stall(n: int) -> float:
+    """Extra dense-SS latency (cycles) when N is too small to hide the
+    A-tile shared-memory fetch under compute.  Vanishes for N ≥ 64."""
+    if n >= 64:
+        return 0.0
+    if n <= 32:
+        return min(4.0 + n / 8.0, 8.0)
+    return 8.0 * (64 - n) / 32.0
+
+
+@dataclass(frozen=True)
+class MmaTiming:
+    """Latency/throughput of one ``mma`` instruction on one device."""
+
+    device: DeviceSpec
+    instr: MmaInstruction
+
+    def __post_init__(self) -> None:
+        lowered = lower(self.instr, self.device.architecture)
+        object.__setattr__(self, "_lowered", lowered)
+
+    # -- helpers ---------------------------------------------------------
+
+    @property
+    def steps(self) -> int:
+        shapes = mma_shapes(self.instr.ab_type)
+        min_k = shapes[0].k
+        return self.instr.shape.k // min_k
+
+    @property
+    def _ada_f32acc(self) -> bool:
+        """Ada consumer parts run FP16→FP32 accumulation at half rate."""
+        return (
+            self.device.architecture is Architecture.ADA
+            and self.instr.ab_type in (DType.FP16, DType.BF16)
+            and self.instr.cd_type is DType.FP32
+        )
+
+    @property
+    def _ada_slow_latency(self) -> bool:
+        """All FP32-accumulate mma on Ada takes the deeper pipe (the
+        paper measures 19.2/33.4 for TF32 and 18.8/33.0 for FP16→FP32
+        vs 17.7/24.6 for FP16→FP16)."""
+        return (
+            self.device.architecture is Architecture.ADA
+            and self.instr.cd_type is DType.FP32
+        )
+
+    @property
+    def on_tensor_core(self) -> bool:
+        return self._lowered.uses_tensor_core
+
+    # -- latency --------------------------------------------------------------
+
+    @property
+    def latency_clk(self) -> float:
+        """Completion latency of a single dependent instruction."""
+        arch = self.device.architecture
+        if not self.on_tensor_core:
+            # CUDA-core fallback (Hopper INT4): a serial IMAD sequence.
+            imad_latency = 5.0
+            return imad_latency * self._lowered.instruction_count
+        if self._ada_slow_latency:
+            return _ADA_F32ACC_LATENCY[self.steps]
+        return _MMA_LATENCY[arch][self.steps]
+
+    # -- throughput ------------------------------------------------------------
+
+    @property
+    def issue_efficiency(self) -> float:
+        arch = self.device.architecture
+        return _MMA_EFFICIENCY[arch][self.instr.sparse][self.steps]
+
+    @property
+    def throughput_flops_per_clk_sm(self) -> float:
+        """Sustained per-SM FLOPs (or int-ops) per cycle."""
+        if not self.on_tensor_core:
+            # INT4-on-Hopper path: 32-lane IMAD per scheduler, 4
+            # schedulers, 2 ops (mul+add) per MAC, II of 2.
+            return _PIPES_PER_SM * 32 * 2 / 2.0
+        peak = self.device.tc_flops_per_clk_sm(
+            self.instr.ab_type.peak_key, sparse=self.instr.sparse
+        )
+        rate = peak * self.issue_efficiency
+        if self._ada_f32acc:
+            rate *= _ADA_F32ACC_RATE
+        return rate
+
+    @property
+    def issue_interval_clk(self) -> float:
+        """Cycles between back-to-back independent issues per pipe."""
+        per_pipe = self.throughput_flops_per_clk_sm / _PIPES_PER_SM
+        return self.instr.flops / per_pipe
+
+    def throughput_tflops(self, init: InitKind = "zero") -> float:
+        """Device-wide sustained throughput in TFLOPS (TOPS for ints).
+
+        ``init='rand'`` applies the power model's frequency throttle
+        for random operand data (negligible for mma — its issue rate
+        keeps power under the cap on all three devices).
+        """
+        base = (
+            self.throughput_flops_per_clk_sm
+            * self.device.num_sms
+            * self.device.clocks.observed_hz
+            / 1e12
+        )
+        if init == "rand":
+            base *= self._power_scale(base)
+        return base
+
+    def fraction_of_peak(self) -> float:
+        peak = self.device.tc_peak_tflops(
+            self.instr.ab_type.peak_key, sparse=self.instr.sparse
+        )
+        return self.throughput_tflops() / peak
+
+    def _power_scale(self, tflops: float) -> float:
+        from repro.power import PowerModel  # local import, no cycle
+        return PowerModel(self.device).throttle_scale(
+            op="mma",
+            ab=self.instr.ab_type,
+            cd=self.instr.cd_type,
+            tflops=tflops,
+            sparse=self.instr.sparse,
+            operand_bytes_per_s=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class WgmmaTiming:
+    """Latency/throughput of one ``wgmma`` instruction (Hopper only)."""
+
+    device: DeviceSpec
+    instr: WgmmaInstruction
+
+    def __post_init__(self) -> None:
+        if not self.device.architecture.has_wgmma:
+            raise UnsupportedInstruction(
+                f"{self.device.name} has no wgmma instructions"
+            )
+
+    # -- latency ----------------------------------------------------------
+
+    @property
+    def latency_clk(self) -> float:
+        """Completion latency: N/2 cycles of tensor-core work plus the
+        operand-path effects described in the module docstring."""
+        n = self.instr.n
+        base = n / 2.0
+        ss = self.instr.a_source is OperandSource.SHARED
+        if not self.instr.sparse:
+            lat = max(base, _WGMMA_MIN_LATENCY)
+            if ss:
+                lat += _wgmma_ss_stall(n)
+            return lat
+        if ss:
+            # Unpruned A (m × 2k) streams from shared memory; the extra
+            # m×k·elem bytes over the dense fetch take exactly this long:
+            extra = (
+                self.instr.m * self.instr.k * self.instr.ab_type.bytes
+                / self.device.mem_widths.smem_bytes_per_clk_sm
+            )
+            return base + extra
+        return max(base, _WGMMA_SPARSE_RS_FLOOR)
+
+    # -- throughput -------------------------------------------------------------
+
+    @property
+    def compute_interval_clk(self) -> float:
+        """Issue interval if only the tensor-core array limited us."""
+        peak = self.device.tc_flops_per_clk_sm(
+            self.instr.ab_type.peak_key, sparse=self.instr.sparse
+        )
+        return self.instr.flops / (peak * _WGMMA_COMPUTE_EFF)
+
+    @property
+    def smem_interval_clk(self) -> float:
+        """Issue interval if only shared-memory bandwidth limited us."""
+        return (
+            self.instr.shared_memory_bytes()
+            / self.device.mem_widths.smem_bytes_per_clk_sm
+        )
+
+    @property
+    def issue_interval_clk(self) -> float:
+        """Sustained interval between wgmma completions per SM.
+
+        The dependent-accumulator chain makes the interval track the
+        completion latency (which already contains every operand-path
+        stall, including the sparse-SS unpruned-A fetch), unless the
+        tensor-core array itself is the bottleneck.  At N = 256 sparse
+        SS the two bounds coincide: latency×stretch = 161 ≈
+        20480 B / 128 B/clk = 160 — the shared-memory port is exactly
+        saturated, which is why Table IX's SS columns sit below RS.
+        """
+        return max(
+            self.latency_clk * _WGMMA_CHAIN_STRETCH,
+            self.compute_interval_clk,
+        )
+
+    @property
+    def throughput_flops_per_clk_sm(self) -> float:
+        return self.instr.flops / self.issue_interval_clk
+
+    def throughput_tflops(self, init: InitKind = "zero") -> float:
+        """Device-wide sustained throughput in TFLOPS/TOPS.
+
+        With random data the H800-PCIe nears its 350 W cap and sheds
+        frequency (paper §IV-C); zero operands barely toggle the
+        datapath and run unthrottled.
+        """
+        base = (
+            self.throughput_flops_per_clk_sm
+            * self.device.num_sms
+            * self.device.clocks.observed_hz
+            / 1e12
+        )
+        if init == "rand":
+            base *= self._power_scale(base)
+        return base
+
+    def fraction_of_peak(self, init: InitKind = "zero") -> float:
+        peak = self.device.tc_peak_tflops(
+            self.instr.ab_type.peak_key, sparse=self.instr.sparse
+        )
+        return self.throughput_tflops(init) / peak
+
+    @property
+    def operand_bytes_total(self) -> float:
+        """Per-instruction A+B (+metadata) operand traffic, regardless
+        of whether it streams from shared memory or the register file —
+        delivery energy is what the power model cares about."""
+        instr = self.instr
+        b = instr.shared_memory_bytes()
+        if instr.a_source is OperandSource.REGISTER:
+            a_bytes = instr.m * instr.k * instr.ab_type.bytes
+            meta = (instr.m * instr.k / 4.0) if instr.sparse else 0.0
+            b += a_bytes + meta
+        return b
+
+    def _power_scale(self, tflops: float) -> float:
+        from repro.power import PowerModel
+        operand_rate = (
+            self.operand_bytes_total / self.issue_interval_clk
+            * self.device.num_sms * self.device.clocks.observed_hz
+        )
+        return PowerModel(self.device).throttle_scale(
+            op="wgmma",
+            ab=self.instr.ab_type,
+            cd=self.instr.cd_type,
+            tflops=tflops,
+            sparse=self.instr.sparse,
+            operand_bytes_per_s=operand_rate,
+        )
+
+
+class TensorCoreTimingModel:
+    """Factory tying a device to its instruction timings."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def mma(self, instr: MmaInstruction) -> MmaTiming:
+        return MmaTiming(self.device, instr)
+
+    def wgmma(self, instr: WgmmaInstruction) -> WgmmaTiming:
+        return WgmmaTiming(self.device, instr)
+
+    def best_dense_tflops(self, ab: DType, cd: DType) -> float:
+        """Best achievable dense throughput for a type pair on this
+        device — wgmma at N=256 on Hopper, the long mma elsewhere.
+        Used by the Transformer-Engine cost model."""
+        if self.device.architecture.has_wgmma:
+            try:
+                w = WgmmaInstruction(ab, cd, n=256)
+                return self.wgmma(w).throughput_tflops("rand")
+            except ValueError:
+                pass
+        try:
+            shape = mma_shapes(ab)[-1]
+            return self.mma(
+                MmaInstruction(ab, cd, shape)
+            ).throughput_tflops("rand")
+        except ValueError:
+            # No PTX mma exists (e.g. FP8 on Ada, Table VI) but the
+            # tensor cores do support the precision through the
+            # library-level QMMA path — model it at near-peak.
+            if self.device.tensor_core.supports(ab.peak_key):
+                return 0.95 * self.device.tc_peak_tflops(
+                    ab.peak_key, at_observed_clock=True
+                )
+            # surface the canonical unsupported-precision error
+            self.device.tensor_core.dense_peak(ab.peak_key)
+            raise  # pragma: no cover - dense_peak raised above

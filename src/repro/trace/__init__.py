@@ -1,0 +1,33 @@
+"""Trace-driven SM timing simulation.
+
+The paper motivates instruction-level dissection partly as input for
+*"creating GPU simulators"* (§II).  This subpackage is that consumer:
+a small cycle-approximate simulator of one SM — four schedulers, a
+scoreboard, per-unit issue pipes — driven by instruction traces whose
+latency/II signatures come from the calibrated models in the rest of
+the library.
+
+* :mod:`repro.trace.isa` — trace instructions (register deps, unit,
+  latency, initiation interval) and trace builders for common kernels.
+* :mod:`repro.trace.engine` — the cycle loop: greedy oldest-first
+  scheduling per sub-partition, scoreboard-tracked dependencies, pipe
+  occupancy, per-unit utilisation statistics.
+
+The test suite validates it against closed forms (dependent chains,
+issue-bound streams) and against the analytical tensor-core timing
+model — the consistency a calibrated simulator owes its calibration
+source.
+"""
+
+from __future__ import annotations
+
+from repro.trace.isa import TraceInstr, TraceBuilder, WarpTrace
+from repro.trace.engine import SmSimulator, SimResult
+
+__all__ = [
+    "TraceInstr",
+    "WarpTrace",
+    "TraceBuilder",
+    "SmSimulator",
+    "SimResult",
+]

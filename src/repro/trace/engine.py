@@ -1,0 +1,163 @@
+"""The cycle-approximate SM engine.
+
+One SM = four scheduler sub-partitions.  Warps are assigned to
+schedulers round-robin; every cycle each scheduler issues at most one
+instruction from the least-recently-issued ready warp (loose
+round-robin, the documented GTO-ish policy's fair cousin).  An
+instruction is ready when its source registers' values have landed
+(scoreboard) and its unit's pipe has drained its initiation interval.
+
+Time advances with event skipping: when no scheduler can issue, the
+clock jumps to the next time anything changes, so sparse traces don't
+cost wall-time per idle cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.lowering import FunctionalUnit
+from repro.trace.isa import TraceInstr, WarpTrace
+
+__all__ = ["SmSimulator", "SimResult"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation."""
+
+    cycles: float
+    instructions: int
+    unit_issue_counts: Dict[FunctionalUnit, int]
+    unit_busy_clk: Dict[FunctionalUnit, float]
+    warp_finish_clk: List[float]
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def unit_utilization(self, unit: FunctionalUnit) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.unit_busy_clk.get(unit, 0.0) / self.cycles
+
+
+class _WarpState:
+    __slots__ = ("trace", "pc", "regs", "last_issue")
+
+    def __init__(self, trace: WarpTrace) -> None:
+        self.trace = trace
+        self.pc = 0
+        self.regs: Dict[int, float] = {}
+        self.last_issue = -1.0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.trace)
+
+    def current(self) -> TraceInstr:
+        return self.trace.instrs[self.pc]
+
+    def ready_at(self) -> float:
+        """Earliest cycle the current instruction's operands allow."""
+        instr = self.current()
+        return max((self.regs.get(r, 0.0) for r in instr.srcs),
+                   default=0.0)
+
+
+class SmSimulator:
+    """One SM with ``num_schedulers`` sub-partitions."""
+
+    def __init__(self, *, num_schedulers: int = 4,
+                 shared_lsu: bool = True) -> None:
+        if num_schedulers < 1:
+            raise ValueError("need at least one scheduler")
+        self.num_schedulers = num_schedulers
+        self.shared_lsu = shared_lsu
+
+    def run(self, warps: List[WarpTrace],
+            *, max_cycles: float = 10_000_000.0) -> SimResult:
+        if not warps:
+            raise ValueError("need at least one warp")
+        states = [_WarpState(w) for w in warps]
+        # round-robin warp → scheduler assignment
+        owners: List[List[_WarpState]] = [
+            [] for _ in range(self.num_schedulers)
+        ]
+        for i, s in enumerate(states):
+            owners[i % self.num_schedulers].append(s)
+
+        # per-(scheduler, unit) pipe free time; the LSU is optionally
+        # one SM-wide pipe
+        pipe_free: Dict[object, float] = {}
+
+        def pipe_key(sched: int, unit: FunctionalUnit):
+            if unit is FunctionalUnit.LSU and self.shared_lsu:
+                return unit
+            return (sched, unit)
+
+        issue_counts: Dict[FunctionalUnit, int] = {}
+        busy: Dict[FunctionalUnit, float] = {}
+        finish = [0.0] * len(states)
+        total = sum(len(w) for w in warps)
+        issued = 0
+        now = 0.0
+
+        while issued < total:
+            if now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({issued}/{total} instructions issued)"
+                )
+            progressed = False
+            next_event = math.inf
+            for sched_id, sched_warps in enumerate(owners):
+                # oldest-issue-first among ready warps
+                candidates = sorted(
+                    (s for s in sched_warps if not s.done),
+                    key=lambda s: s.last_issue,
+                )
+                issued_here = False
+                for s in candidates:
+                    instr = s.current()
+                    key = pipe_key(sched_id, instr.unit)
+                    avail = max(s.ready_at(), pipe_free.get(key, 0.0))
+                    if avail <= now and not issued_here:
+                        # issue
+                        pipe_free[key] = now + instr.ii_clk
+                        if instr.dst >= 0:
+                            s.regs[instr.dst] = now + instr.latency_clk
+                        s.pc += 1
+                        s.last_issue = now
+                        idx = states.index(s)
+                        finish[idx] = max(finish[idx],
+                                          now + instr.latency_clk)
+                        issue_counts[instr.unit] = \
+                            issue_counts.get(instr.unit, 0) + 1
+                        busy[instr.unit] = \
+                            busy.get(instr.unit, 0.0) + instr.ii_clk
+                        issued += 1
+                        issued_here = True
+                        progressed = True
+                    else:
+                        next_event = min(next_event, max(avail,
+                                                         now + 1.0))
+                if issued_here:
+                    next_event = min(next_event, now + 1.0)
+            if not progressed:
+                if not math.isfinite(next_event):
+                    raise RuntimeError("deadlock: no instruction can "
+                                       "ever become ready")
+                now = next_event
+            else:
+                now += 1.0
+
+        return SimResult(
+            cycles=max(finish) if finish else 0.0,
+            instructions=issued,
+            unit_issue_counts=issue_counts,
+            unit_busy_clk=busy,
+            warp_finish_clk=finish,
+        )

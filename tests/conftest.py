@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import get_device
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return get_device("A100")
+
+
+@pytest.fixture(scope="session")
+def rtx4090():
+    return get_device("RTX4090")
+
+
+@pytest.fixture(scope="session")
+def h800():
+    return get_device("H800")
+
+
+@pytest.fixture(scope="session", params=["A100", "RTX4090", "H800"])
+def any_device(request):
+    """Parametrised over all three paper devices."""
+    return get_device(request.param)
+
+
+@pytest.fixture()
+def tiny_device(h800):
+    """An H800 with a shrunken L2 for fast over-capacity tests."""
+    from dataclasses import replace
+    return h800.with_overrides(
+        cache=replace(h800.cache, l2_size_kib=512)
+    )

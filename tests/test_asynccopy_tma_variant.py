@@ -1,0 +1,51 @@
+"""Tests for the TmaPipe variant of the tiled-matmul model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asynccopy import AsyncCopyConfig, CopyVariant, \
+    TiledMatmulModel
+
+TMA, ASYNC, SYNC = CopyVariant.TMA, CopyVariant.ASYNC, CopyVariant.SYNC
+
+
+class TestTmaVariant:
+    def test_hopper_only(self, a100, h800):
+        cfg = AsyncCopyConfig(16, 4, TMA)
+        TiledMatmulModel(h800).throughput_gflops(cfg)
+        with pytest.raises(ValueError, match="TMA"):
+            TiledMatmulModel(a100).throughput_gflops(cfg)
+
+    def test_negligible_issue_cost(self, h800):
+        m = TiledMatmulModel(h800)
+        assert m.copy_issue_clk(AsyncCopyConfig(32, 1, TMA)) == 4.0
+        assert m.copy_issue_clk(AsyncCopyConfig(32, 1, ASYNC)) == 64.0
+
+    def test_dominates_cp_async(self, h800):
+        m = TiledMatmulModel(h800)
+        for b in (8, 16, 32):
+            for nb in (1, 2, 8, 32):
+                t = m.throughput_gflops(AsyncCopyConfig(b, nb, TMA))
+                a = m.throughput_gflops(AsyncCopyConfig(b, nb, ASYNC))
+                assert t >= a * 0.999, (b, nb)
+
+    def test_same_smem_footprint_as_async(self):
+        t = AsyncCopyConfig(16, 1, TMA, pipeline_stages=3)
+        a = AsyncCopyConfig(16, 1, ASYNC, pipeline_stages=3)
+        assert t.smem_bytes_per_block == a.smem_bytes_per_block
+
+    def test_needs_double_buffering(self):
+        with pytest.raises(ValueError, match="stages"):
+            AsyncCopyConfig(8, 1, TMA, pipeline_stages=1)
+
+    def test_no_issue_tax_at_saturation(self, h800):
+        m = TiledMatmulModel(h800)
+        tma = m.flops_per_clk_sm(AsyncCopyConfig(16, 32, TMA))
+        assert tma == pytest.approx(m.smem_cap_flops_clk(), rel=0.001)
+
+    def test_monotone_in_blocks(self, h800):
+        m = TiledMatmulModel(h800)
+        vals = [m.throughput_gflops(AsyncCopyConfig(8, nb, TMA))
+                for nb in (1, 2, 4, 8, 16, 32)]
+        assert all(a <= b * 1.001 for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,58 @@
+"""Tests for the hopperdissect CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table07_mma" in out
+        assert "Fig. 8" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "H800" in out and "2039 GB/s" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table06_sass"]) == 0
+        out = capsys.readouterr().out
+        assert "HGMMA.64x256x16.F16" in out
+        assert "[PASS]" in out
+
+    def test_run_without_args_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "table99_nope"])
+
+    def test_report_to_file(self, tmp_path, capsys):
+        # full report is expensive; exercise via a tiny subset by
+        # patching run_all
+        import repro.cli as cli
+
+        def fake_run_all():
+            from repro.core import run_experiment
+            return {"table03_devices": run_experiment("table03_devices")}
+
+        orig = cli.run_all
+        cli.run_all = fake_run_all
+        try:
+            out_file = tmp_path / "EXP.md"
+            assert main(["report", "-o", str(out_file)]) == 0
+            text = out_file.read_text()
+            assert "Table III" in text
+        finally:
+            cli.run_all = orig
+
+    def test_parser_structure(self):
+        p = build_parser()
+        args = p.parse_args(["run", "--all"])
+        assert args.all

@@ -1,0 +1,70 @@
+"""Tests pinning the simulator's absolute fidelity to the paper.
+
+The experiments check *shape*; these tests pin the mean absolute
+percentage error of every artefact with published numbers, so a model
+regression shows up as a concrete number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fidelity import (
+    FidelityEntry,
+    compute_all,
+    fidelity_report,
+)
+
+#: per-artefact MAPE ceilings (fractions).  The calibrated instruction
+#: and memory models sit well under 5 %; the system-level models (LLM
+#: harness with host noise, async-copy grid) are allowed more.
+MAPE_BOUNDS = {
+    "Table IV (latency)": 0.01,
+    "Table V (throughput)": 0.02,
+    "Table VII (mma)": 0.03,
+    "Table VIII (dense wgmma)": 0.02,
+    "Table IX (sparse wgmma)": 0.03,
+    "Table X (wgmma N sweep)": 0.04,
+    "Table XI (energy)": 0.02,
+    "Table XII (LLM)": 0.20,
+    "Tables XIII/XIV (async copy)": 0.15,
+    "§IV-E DSM scalars": 0.03,
+}
+
+
+@pytest.fixture(scope="module")
+def all_fidelity():
+    return {tf.name: tf for tf in compute_all()}
+
+
+class TestFidelity:
+    def test_every_artefact_scored(self, all_fidelity):
+        assert set(all_fidelity) == set(MAPE_BOUNDS)
+
+    @pytest.mark.parametrize("name", sorted(MAPE_BOUNDS))
+    def test_mape_within_bound(self, all_fidelity, name):
+        tf = all_fidelity[name]
+        assert tf.mape <= MAPE_BOUNDS[name], (
+            f"{name}: MAPE {100 * tf.mape:.2f}% exceeds "
+            f"{100 * MAPE_BOUNDS[name]:.0f}% "
+            f"(worst: {tf.worst.label} at "
+            f"{100 * tf.worst.rel_error:.1f}%)"
+        )
+
+    def test_cell_counts(self, all_fidelity):
+        # every published cell is compared
+        assert len(all_fidelity["Table VII (mma)"].entries) == 24 * 3
+        assert len(all_fidelity["Table XI (energy)"].entries) == 24 * 2
+        assert len(
+            all_fidelity["Tables XIII/XIV (async copy)"].entries
+        ) == 2 * 3 * 2 * 6
+
+    def test_entry_rel_error(self):
+        assert FidelityEntry("x", 100.0, 110.0).rel_error \
+            == pytest.approx(0.1)
+        assert FidelityEntry("x", 0.0, 0.5).rel_error == 0.5
+
+    def test_report_renders(self, all_fidelity):
+        out = fidelity_report().render()
+        assert "MAPE %" in out
+        assert "Table VII (mma)" in out

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs clean and says something.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in a subprocess exactly as a user would invoke it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent \
+    / "examples"
+_EXPECT = {
+    "quickstart.py": "wgmma",
+    "dissect_memory.py": "P-chase latency",
+    "tensorcore_sweep.py": "sparse wgmma",
+    "llm_inference_study.py": "Table XII",
+    "dsm_histogram_app.py": "np.bincount",
+    "smith_waterman_dpx.py": "Smith-Waterman",
+    "numerics_probe.py": "cache geometry",
+    "custom_device.py": "H100 SXM5",
+    "trace_simulation.py": "calibrated latency",
+}
+
+
+def _run(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECT))
+def test_example_runs(name):
+    out = _run(name)
+    assert _EXPECT[name] in out
+    assert "Traceback" not in out
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(_EXPECT)

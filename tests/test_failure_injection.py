@@ -1,0 +1,140 @@
+"""Failure-injection and adversarial-input tests.
+
+Each test corrupts state or feeds hostile inputs and asserts the
+system either rejects it loudly or degrades the way the architecture
+would — never silently produces plausible-but-wrong results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import get_device
+from repro.dsm import Cluster, DsmHistogram, HistogramConfig
+from repro.memory import MemoryHierarchy, SetAssociativeCache, \
+    SharedMemory
+from repro.tensorcore import (
+    SparseOperand,
+    compress_2_4,
+    decompress_2_4,
+    prune_2_4,
+)
+
+
+class TestCorruptedSparseMetadata:
+    def test_tampered_metadata_changes_result(self):
+        """Flipping one metadata index must move a value to the wrong
+        k position — detectable against the pruned original."""
+        rng = np.random.default_rng(0)
+        a = prune_2_4(rng.normal(size=(8, 16)))
+        op = compress_2_4(a)
+        meta = op.metadata.copy()
+        # move T0's first kept element to a different in-group slot
+        original = int(meta[0, 0])
+        meta[0, 0] = (original + 1) % 4
+        if meta[0, 0] == op.metadata[0, 1]:
+            meta[0, 0] = (original + 2) % 4
+        tampered = SparseOperand(op.values, meta, op.k)
+        assert not np.array_equal(decompress_2_4(tampered), a)
+
+    def test_out_of_range_metadata_rejected(self):
+        with pytest.raises(ValueError):
+            SparseOperand(np.ones((1, 2)),
+                          np.array([[0, 7]], dtype=np.uint8), 4)
+
+    def test_duplicate_metadata_overwrites_not_crashes(self):
+        # two kept values claiming the same slot: the layout is
+        # degenerate but decompression must stay well-defined
+        op = SparseOperand(np.array([[1.0, 2.0]]),
+                           np.array([[1, 1]], dtype=np.uint8), 4)
+        out = decompress_2_4(op)
+        assert out.shape == (1, 4)
+        assert out[0, 1] in (1.0, 2.0)
+
+
+class TestHostileMemoryPatterns:
+    def test_pathological_same_set_stream_thrashes(self, h800):
+        """An adversarial stream mapping every access to one set gets
+        zero hits once it exceeds associativity — not an average-case
+        hit rate."""
+        geo = h800.cache
+        c = SetAssociativeCache(geo.l1_size_bytes,
+                                ways=geo.l1_associativity)
+        set_stride = c.num_sets * c.line_bytes
+        addrs = [i * set_stride for i in
+                 range(geo.l1_associativity + 1)]
+        for _ in range(4):
+            for a in addrs:
+                c.access(a)
+        c.stats.reset()
+        for _ in range(4):
+            for a in addrs:
+                c.access(a)
+        assert c.stats.hit_rate == 0.0
+
+    def test_oob_shared_memory_never_corrupts_neighbors(self):
+        sm = SharedMemory(64)
+        sm.write_u32(60, 0xAAAAAAAA)
+        with pytest.raises(IndexError):
+            sm.write(62, b"\x00" * 8)
+        assert sm.read_u32(60) == 0xAAAAAAAA
+
+    def test_enormous_address_is_handled(self, tiny_device):
+        mh = MemoryHierarchy(tiny_device)
+        res = mh.load(1 << 48)
+        assert res.latency_clk > 0
+
+
+class TestClusterIsolation:
+    def test_writes_never_leak_across_clusters(self, h800):
+        c1 = Cluster(h800, 2, smem_bytes_per_block=32)
+        c2 = Cluster(h800, 2, smem_bytes_per_block=32)
+        c1.map_shared_rank(0, 1).write_u32(0, 123)
+        assert c2.block_smem(1).read_u32(0) == 0
+
+    def test_histogram_rejects_negative_bins(self, h800):
+        hist = DsmHistogram(h800)
+        with pytest.raises(ValueError):
+            hist.compute(np.array([-1]), HistogramConfig(64, 2))
+
+    def test_histogram_zero_occupancy_is_explicit(self, h800):
+        """A configuration whose blocks cannot fit must report zero
+        throughput with the limiter named, not crash or extrapolate."""
+        hist = DsmHistogram(h800)
+        r = hist.measure(HistogramConfig(65536, 1, 1024))
+        assert r.elements_per_second == 0.0
+        assert r.limiter == "shared memory"
+
+
+class TestDegenerateWorkloads:
+    def test_all_elements_one_bin(self, h800):
+        """Worst-case contention input still counts correctly."""
+        hist = DsmHistogram(h800)
+        data = np.zeros(500, dtype=np.int64)
+        counts = hist.compute(data, HistogramConfig(16, 4))
+        assert counts[0] == 500
+        assert counts[1:].sum() == 0
+
+    def test_empty_histogram(self, h800):
+        hist = DsmHistogram(h800)
+        counts = hist.compute(np.array([], dtype=np.int64),
+                              HistogramConfig(16, 2))
+        assert counts.sum() == 0
+
+    def test_alignment_of_single_chars(self):
+        from repro.dp import SmithWaterman
+        sw = SmithWaterman(match=5, mismatch=-1, gap=1)
+        assert sw.score("A", "A") == 5
+        assert sw.score("A", "T") == 0
+
+    def test_power_cap_below_idle(self, h800):
+        """A cap below idle power throttles to (almost) zero rather
+        than producing negative scales."""
+        from repro.isa.dtypes import DType
+        from repro.power import PowerModel
+        broken = h800.with_overrides(power_cap_watts=10.0)
+        pm = PowerModel(broken)
+        s = pm.throttle_scale(op="wgmma", ab=DType.FP16,
+                              cd=DType.FP32, tflops=700.0)
+        assert 0.0 <= s < 0.05

@@ -1,0 +1,155 @@
+"""Tests for the mma register-fragment layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import MatrixShape, MmaInstruction
+from repro.isa.dtypes import DType
+from repro.isa.fragments import (
+    FragmentLayout,
+    a_layout,
+    b_layout,
+    c_layout,
+    layouts_for,
+)
+
+
+def _shapes():
+    return [
+        (DType.FP16, MatrixShape(16, 8, 8)),
+        (DType.FP16, MatrixShape(16, 8, 16)),
+        (DType.BF16, MatrixShape(16, 8, 16)),
+        (DType.TF32, MatrixShape(16, 8, 4)),
+        (DType.TF32, MatrixShape(16, 8, 8)),
+        (DType.INT8, MatrixShape(16, 8, 16)),
+        (DType.INT8, MatrixShape(16, 8, 32)),
+    ]
+
+
+class TestBijection:
+    @pytest.mark.parametrize("ab,shape", _shapes(),
+                             ids=lambda v: str(v))
+    def test_a_fragment_bijective(self, ab, shape):
+        lay = a_layout(shape, ab)
+        assert lay.is_bijection()
+        assert lay.lane.min() == 0 and lay.lane.max() == 31
+
+    @pytest.mark.parametrize("ab,shape", _shapes(),
+                             ids=lambda v: str(v))
+    def test_b_fragment_bijective(self, ab, shape):
+        lay = b_layout(shape, ab)
+        assert lay.is_bijection()
+
+    def test_c_fragment_bijective(self):
+        lay = c_layout(MatrixShape(16, 8, 1), DType.FP32)
+        assert lay.is_bijection()
+
+    @pytest.mark.parametrize("ab,shape", _shapes(),
+                             ids=lambda v: str(v))
+    def test_even_distribution(self, ab, shape):
+        """Every lane holds the same number of A elements."""
+        lay = a_layout(shape, ab)
+        counts = np.bincount(lay.lane.ravel(), minlength=32)
+        assert np.all(counts == lay.elements_per_thread)
+
+
+class TestDocumentedAnchors:
+    """Spot values straight from the PTX ISA figures."""
+
+    def test_fp16_m16n8k16_a(self):
+        lay = a_layout(MatrixShape(16, 8, 16), DType.FP16)
+        assert lay.owner(0, 0) == (0, 0)       # T0.a0
+        assert lay.owner(0, 1) == (0, 1)       # T0.a1
+        assert lay.owner(8, 0) == (0, 2)       # T0.a2 (lower half)
+        assert lay.owner(0, 8) == (0, 4)       # T0.a4 (second k chunk)
+        assert lay.owner(8, 9) == (0, 7)       # T0.a7
+        assert lay.owner(0, 2) == (1, 0)       # T1.a0
+        assert lay.owner(1, 0) == (4, 0)       # next row group → T4
+        assert lay.elements_per_thread == 8
+
+    def test_fp16_m16n8k16_b(self):
+        lay = b_layout(MatrixShape(16, 8, 16), DType.FP16)
+        assert lay.owner(0, 0) == (0, 0)       # T0.b0
+        assert lay.owner(1, 0) == (0, 1)       # T0.b1
+        assert lay.owner(8, 0) == (0, 2)       # T0.b2
+        assert lay.owner(0, 1) == (4, 0)       # next column group
+        assert lay.elements_per_thread == 4
+
+    def test_tf32_m16n8k8_a(self):
+        lay = a_layout(MatrixShape(16, 8, 8), DType.TF32)
+        assert lay.owner(0, 0) == (0, 0)
+        assert lay.owner(8, 0) == (0, 1)
+        assert lay.owner(0, 4) == (0, 2)
+        assert lay.owner(8, 4) == (0, 3)
+        assert lay.owner(0, 1) == (1, 0)
+
+    def test_int8_m16n8k16_a(self):
+        lay = a_layout(MatrixShape(16, 8, 16), DType.INT8)
+        # one thread holds 4 consecutive bytes per row half
+        assert [lay.owner(0, c) for c in range(4)] == \
+            [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert lay.owner(0, 4) == (1, 0)
+        assert lay.owner(8, 0) == (0, 4)
+
+    def test_accumulator_m16n8(self):
+        lay = c_layout(MatrixShape(16, 8, 1), DType.FP32)
+        assert lay.owner(0, 0) == (0, 0)
+        assert lay.owner(0, 1) == (0, 1)
+        assert lay.owner(8, 0) == (0, 2)
+        assert lay.owner(0, 2) == (1, 0)
+        assert lay.owner(15, 7) == (31, 3)
+        assert lay.elements_per_thread == 4
+
+
+class TestRegisterCounts:
+    def test_fp16_a_registers(self):
+        lay = a_layout(MatrixShape(16, 8, 16), DType.FP16)
+        assert lay.registers_per_thread(16) == 4   # 8 halves → 4 regs
+
+    def test_tf32_a_registers(self):
+        lay = a_layout(MatrixShape(16, 8, 8), DType.TF32)
+        assert lay.registers_per_thread(32) == 4
+
+    def test_int8_b_registers(self):
+        lay = b_layout(MatrixShape(16, 8, 32), DType.INT8)
+        assert lay.registers_per_thread(8) == 2    # 8 bytes → 2 regs
+
+    def test_invalid_width(self):
+        lay = c_layout(MatrixShape(16, 8, 1), DType.FP32)
+        with pytest.raises(ValueError):
+            lay.registers_per_thread(24)
+
+
+class TestApi:
+    def test_layouts_for(self):
+        instr = MmaInstruction(DType.FP16, DType.FP32,
+                               MatrixShape(16, 8, 16))
+        a, b, c = layouts_for(instr)
+        assert (a.operand, b.operand, c.operand) == ("A", "B", "C")
+        assert a.rows == 16 and b.rows == 16 and c.cols == 8
+
+    def test_sparse_rejected(self):
+        instr = MmaInstruction(DType.FP16, DType.FP32,
+                               MatrixShape(16, 8, 16), sparse=True)
+        with pytest.raises(ValueError, match="sparse"):
+            layouts_for(instr)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            a_layout(MatrixShape(8, 8, 4), DType.FP64)
+        with pytest.raises(ValueError):
+            b_layout(MatrixShape(16, 16, 16), DType.FP16)
+
+    def test_gather_reconstructs_matrix(self):
+        """Scattering a matrix into fragments and gathering it back by
+        (lane, index) reproduces the matrix — the property an ldmatrix
+        shuffle implementation relies on."""
+        lay = a_layout(MatrixShape(16, 8, 16), DType.FP16)
+        rng = np.random.default_rng(0)
+        mat = rng.normal(size=(16, 16))
+        frags = np.zeros((32, lay.fragment_size))
+        frags[lay.lane, lay.index] = mat
+        gathered = frags[lay.lane, lay.index]
+        assert np.array_equal(gathered, mat)

@@ -1,0 +1,210 @@
+"""Tests for mma/wgmma instruction descriptors and shape rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    MatrixShape,
+    MmaInstruction,
+    OperandSource,
+    WgmmaInstruction,
+    accumulator_types,
+    input_types,
+    mma_shapes,
+    valid_wgmma_n,
+    wgmma_k,
+)
+from repro.isa.dtypes import DType
+
+
+class TestDTypes:
+    def test_bits(self):
+        assert DType.FP16.bits == 16
+        assert DType.TF32.bits == 32       # full-register storage
+        assert DType.E4M3.bits == 8
+        assert DType.INT4.bits == 4
+        assert DType.BIN1.bits == 1
+
+    def test_float_format_links(self):
+        assert DType.FP16.float_format.name == "fp16"
+        assert DType.E5M2.float_format.max_finite == 57344.0
+        assert DType.INT8.float_format is None
+
+    def test_accumulators(self):
+        assert accumulator_types(DType.FP16) == (DType.FP16, DType.FP32)
+        assert accumulator_types(DType.TF32) == (DType.FP32,)
+        assert accumulator_types(DType.INT8) == (DType.INT32,)
+        with pytest.raises(ValueError):
+            accumulator_types(DType.INT32)
+
+    def test_input_types_complete(self):
+        assert DType.E4M3 in input_types()
+        assert DType.BIN1 in input_types()
+
+    def test_peak_keys(self):
+        assert DType.E4M3.peak_key == "fp8"
+        assert DType.E5M2.peak_key == "fp8"
+        assert DType.BIN1.peak_key == "binary"
+
+    def test_paper_labels(self):
+        assert DType.E4M3.paper_label == "FP8"
+        assert DType.BIN1.paper_label == "Binary"
+
+
+class TestMatrixShape:
+    def test_modifier(self):
+        assert MatrixShape(16, 8, 16).modifier == "m16n8k16"
+
+    def test_flops(self):
+        s = MatrixShape(16, 8, 16)
+        assert s.macs == 2048
+        assert s.flops == 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatrixShape(0, 8, 16)
+
+    def test_ordering(self):
+        assert MatrixShape(16, 8, 8) < MatrixShape(16, 8, 16)
+
+
+class TestMmaShapes:
+    def test_fp16_shapes(self):
+        assert [s.modifier for s in mma_shapes(DType.FP16)] == \
+            ["m16n8k8", "m16n8k16"]
+
+    def test_tf32_shapes(self):
+        assert [s.modifier for s in mma_shapes(DType.TF32)] == \
+            ["m16n8k4", "m16n8k8"]
+
+    def test_int8_shapes(self):
+        assert [s.modifier for s in mma_shapes(DType.INT8)] == \
+            ["m16n8k16", "m16n8k32"]
+
+    def test_binary_shapes(self):
+        assert mma_shapes(DType.BIN1)[-1].modifier == "m16n8k256"
+
+    def test_fp8_has_no_mma_shapes(self):
+        with pytest.raises(ValueError):
+            mma_shapes(DType.E4M3)
+
+
+class TestMmaInstruction:
+    def test_valid(self):
+        i = MmaInstruction(DType.FP16, DType.FP32, MatrixShape(16, 8, 16))
+        assert i.warps == 1
+        assert i.threads == 32
+        assert i.synchronous
+        assert i.flops == 4096
+
+    def test_opcode(self):
+        i = MmaInstruction(DType.FP16, DType.FP32, MatrixShape(16, 8, 16))
+        assert i.opcode.startswith("mma.sync.aligned.m16n8k16")
+        assert ".f32.f16.f16.f32" in i.opcode
+
+    def test_sparse_doubles_k(self):
+        i = MmaInstruction(DType.FP16, DType.FP16,
+                           MatrixShape(16, 8, 16), sparse=True)
+        assert i.effective_shape.k == 32
+        assert i.flops == 8192
+        assert i.opcode.startswith("mma.sp.sync.aligned.m16n8k32")
+
+    def test_illegal_accumulator(self):
+        with pytest.raises(ValueError, match="accumulator"):
+            MmaInstruction(DType.TF32, DType.FP16,
+                           MatrixShape(16, 8, 8))
+
+    def test_illegal_shape(self):
+        with pytest.raises(ValueError, match="not a legal mma shape"):
+            MmaInstruction(DType.FP16, DType.FP16,
+                           MatrixShape(16, 8, 4))
+
+    def test_sparse_binary_rejected(self):
+        with pytest.raises(ValueError, match="mma.sp"):
+            MmaInstruction(DType.BIN1, DType.INT32,
+                           MatrixShape(16, 8, 256), sparse=True)
+
+    def test_operand_bytes_dense(self):
+        i = MmaInstruction(DType.FP16, DType.FP32, MatrixShape(16, 8, 16))
+        ob = i.operand_bytes()
+        assert ob["A"] == 16 * 16 * 2
+        assert ob["B"] == 16 * 8 * 2
+        assert ob["C"] == 16 * 8 * 4
+        assert ob["meta"] == 0
+
+    def test_operand_bytes_sparse_metadata(self):
+        i = MmaInstruction(DType.FP16, DType.FP32,
+                           MatrixShape(16, 8, 16), sparse=True)
+        assert i.operand_bytes()["meta"] == 16 * 16 // 4
+
+
+class TestWgmma:
+    def test_wgmma_k_per_type(self):
+        assert wgmma_k(DType.FP16) == 16
+        assert wgmma_k(DType.TF32) == 8
+        assert wgmma_k(DType.E4M3) == 32
+        assert wgmma_k(DType.INT8) == 32
+        assert wgmma_k(DType.BIN1) == 256
+
+    def test_int4_wgmma_does_not_exist(self):
+        with pytest.raises(ValueError, match="INT4"):
+            wgmma_k(DType.INT4)
+
+    def test_valid_n_range(self):
+        ns = valid_wgmma_n()
+        assert ns[0] == 8 and ns[-1] == 256
+        assert all(n % 8 == 0 for n in ns)
+        assert len(ns) == 32
+
+    def test_basic_properties(self):
+        w = WgmmaInstruction(DType.FP16, DType.FP32, 256)
+        assert w.m == 64 and w.k == 16
+        assert w.warps == 4 and w.threads == 128
+        assert not w.synchronous
+        assert w.flops == 2 * 64 * 256 * 16
+
+    def test_opcode(self):
+        w = WgmmaInstruction(DType.E4M3, DType.FP32, 128)
+        assert w.opcode.startswith(
+            "wgmma.mma_async.sync.aligned.m64n128k32")
+
+    def test_bad_n(self):
+        for n in (0, 4, 12, 260, -8):
+            with pytest.raises(ValueError):
+                WgmmaInstruction(DType.FP16, DType.FP32, n)
+
+    def test_int4_rejected(self):
+        with pytest.raises(ValueError):
+            WgmmaInstruction(DType.INT4, DType.INT32, 64)
+
+    def test_sparse_flops_double(self):
+        d = WgmmaInstruction(DType.FP16, DType.FP32, 64)
+        s = WgmmaInstruction(DType.FP16, DType.FP32, 64, sparse=True)
+        assert s.flops == 2 * d.flops
+        assert s.effective_shape.k == 32
+
+    def test_shared_memory_bytes_dense(self):
+        ss = WgmmaInstruction(DType.FP16, DType.FP32, 256,
+                              a_source=OperandSource.SHARED)
+        rs = WgmmaInstruction(DType.FP16, DType.FP32, 256,
+                              a_source=OperandSource.REGISTER)
+        # SS: A (64×16×2) + B (16×256×2); RS: B only
+        assert ss.shared_memory_bytes() == 2048 + 8192
+        assert rs.shared_memory_bytes() == 8192
+
+    def test_shared_memory_bytes_sparse_ss_unpruned(self):
+        ss = WgmmaInstruction(DType.FP16, DType.FP32, 256, sparse=True,
+                              a_source=OperandSource.SHARED)
+        rs = WgmmaInstruction(DType.FP16, DType.FP32, 256, sparse=True,
+                              a_source=OperandSource.REGISTER)
+        # sparse SS streams the UNPRUNED A (64 × 32 × 2B) + B at k=32
+        assert ss.shared_memory_bytes() == 64 * 32 * 2 + 32 * 256 * 2
+        assert rs.shared_memory_bytes() == 32 * 256 * 2
+
+    def test_register_bytes(self):
+        rs = WgmmaInstruction(DType.FP16, DType.FP16, 64,
+                              a_source=OperandSource.REGISTER)
+        ss = WgmmaInstruction(DType.FP16, DType.FP16, 64,
+                              a_source=OperandSource.SHARED)
+        assert rs.register_bytes() > ss.register_bytes()

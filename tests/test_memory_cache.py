@@ -1,0 +1,162 @@
+"""Tests for the sectored set-associative cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import SetAssociativeCache
+
+
+def small_cache(**kw):
+    defaults = dict(size_bytes=4096, line_bytes=128, sector_bytes=32,
+                    ways=4, name="test")
+    defaults.update(kw)
+    return SetAssociativeCache(**defaults)
+
+
+class TestGeometry:
+    def test_basic_derivation(self):
+        c = small_cache()
+        assert c.num_sets == 4096 // 128 // 4
+        assert c.sectors_per_line == 4
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            small_cache(size_bytes=1000)       # not line multiple
+        with pytest.raises(ValueError):
+            small_cache(line_bytes=100)        # not sector multiple
+        with pytest.raises(ValueError):
+            small_cache(size_bytes=128 * 3, ways=2)  # lines % ways
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.stats.tag_misses == 1
+        assert c.stats.hits == 1
+
+    def test_sector_granularity(self):
+        c = small_cache()
+        c.access(0)            # fills sector 0 of line 0
+        assert not c.access(32)   # sector 1 of the SAME line: sector miss
+        assert c.stats.sector_misses == 1
+        assert c.access(0) and c.access(32)
+
+    def test_same_sector_different_bytes_hit(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(28)   # same 32-byte sector (bytes 28..31)
+
+    def test_multi_sector_access(self):
+        c = small_cache()
+        assert not c.access(0, size=64)      # spans 2 sectors
+        assert c.access(0, size=64)
+        assert c.access(32)
+
+    def test_probe_is_non_destructive(self):
+        c = small_cache()
+        assert not c.probe(0)
+        before = c.stats.accesses
+        c.probe(0)
+        assert c.stats.accesses == before
+        assert not c.access(0)  # still a miss — probe didn't fill
+
+    def test_no_allocate(self):
+        c = small_cache()
+        c.access(0, allocate=False)
+        assert not c.probe(0)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        c = small_cache()  # 8 sets, 4 ways
+        set_stride = c.num_sets * c.line_bytes  # same-set addresses
+        addrs = [i * set_stride for i in range(5)]
+        for a in addrs[:4]:
+            c.access(a)
+        c.access(addrs[0])      # refresh line 0
+        c.access(addrs[4])      # evicts LRU = line 1
+        assert c.probe(addrs[0])
+        assert not c.probe(addrs[1])
+        assert c.probe(addrs[4])
+        assert c.stats.evictions == 1
+
+    def test_capacity_thrash(self):
+        c = small_cache()
+        lines = c.size_bytes // c.line_bytes
+        # touch 2× capacity sequentially, twice: second pass all misses
+        for _ in range(2):
+            for i in range(2 * lines):
+                c.access(i * c.line_bytes)
+        # after warmup the second pass should have been all misses (LRU)
+        assert c.stats.hit_rate < 0.01
+
+    def test_within_capacity_all_hits_after_warm(self):
+        c = small_cache()
+        lines = c.size_bytes // c.line_bytes
+        for i in range(lines):
+            c.access(i * c.line_bytes)
+        c.stats.reset()
+        for i in range(lines):
+            assert c.access(i * c.line_bytes)
+        assert c.stats.hit_rate == 1.0
+
+
+class TestWarmFlush:
+    def test_warm_fills_range(self):
+        c = small_cache()
+        c.warm(0, 1024)
+        assert all(c.probe(a) for a in range(0, 1024, 32))
+
+    def test_flush(self):
+        c = small_cache()
+        c.warm(0, 512)
+        c.flush()
+        assert not c.probe(0)
+        assert c.stats.accesses == 0
+
+    def test_resident_bytes(self):
+        c = small_cache()
+        assert c.resident_bytes == 0
+        c.access(0)
+        assert c.resident_bytes == 32
+        c.warm(0, 1024)
+        assert c.resident_bytes == 1024
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    def test_resident_never_exceeds_capacity(self, addrs):
+        c = small_cache()
+        for a in addrs:
+            c.access(a)
+        assert c.resident_bytes <= c.size_bytes
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    min_size=1, max_size=100))
+    def test_repeat_access_hits(self, addrs):
+        c = SetAssociativeCache(1 << 16, ways=16)
+        for a in addrs:
+            c.access(a)
+        # working set fits: immediate re-access of the last address hits
+        assert c.access(addrs[-1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 22),
+                    min_size=1, max_size=100))
+    def test_stats_consistency(self, addrs):
+        c = small_cache()
+        for a in addrs:
+            c.access(a)
+        s = c.stats
+        assert s.accesses == len(addrs)
+        assert s.hits + len(
+            [1 for _ in range(0)]) <= s.accesses  # hits bounded
+        assert s.hits <= s.accesses
+        assert s.misses >= 0

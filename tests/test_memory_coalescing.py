@@ -1,0 +1,107 @@
+"""Tests for the warp coalescing analyser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.coalescing import (
+    SECTOR_BYTES,
+    analyze_warp_access,
+    efficiency_vs_stride,
+    strided_access,
+)
+
+
+class TestBasicPatterns:
+    def test_unit_stride_is_perfect(self):
+        r = strided_access(4)
+        assert r.sectors == 4            # 128 B / 32 B
+        assert r.perfectly_coalesced
+        assert r.efficiency == 1.0
+
+    def test_float4_unit_stride(self):
+        r = strided_access(16, bytes_per_lane=16)
+        assert r.sectors == 16
+        assert r.efficiency == 1.0
+
+    def test_broadcast_single_sector(self):
+        r = analyze_warp_access([128] * 32)
+        assert r.sectors == 1
+        assert r.efficiency == 4.0       # 128 requested / 32 moved
+
+    def test_fully_scattered(self):
+        # one 4-byte word per page: 32 sectors for 128 bytes
+        r = analyze_warp_access([i * 4096 for i in range(32)])
+        assert r.sectors == 32
+        assert r.efficiency == pytest.approx(4 / 32)
+
+    def test_stride_curve_decays_to_floor(self):
+        curve = efficiency_vs_stride([4, 8, 16, 32, 64, 128])
+        assert curve[4] == 1.0
+        assert curve[8] == pytest.approx(0.5)
+        assert curve[32] == pytest.approx(4 / 32)
+        assert curve[128] == pytest.approx(4 / 32)
+        vals = [curve[s] for s in (4, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_misaligned_access_pays_extra_sector(self):
+        aligned = strided_access(4, base=0)
+        misaligned = strided_access(4, base=2)
+        assert misaligned.sectors == aligned.sectors + 1
+        assert misaligned.efficiency < 1.0
+
+    def test_straddling_element(self):
+        # an 8-byte element starting 4 bytes before a boundary
+        r = analyze_warp_access([28], bytes_per_lane=8)
+        assert r.sectors == 2
+
+
+class TestValidation:
+    def test_lane_cap(self):
+        with pytest.raises(ValueError):
+            analyze_warp_access([0] * 33)
+
+    def test_width_whitelist(self):
+        with pytest.raises(ValueError):
+            analyze_warp_access([0], bytes_per_lane=3)
+
+    def test_negative_address(self):
+        with pytest.raises(ValueError):
+            analyze_warp_access([-4])
+
+    def test_negative_stride(self):
+        with pytest.raises(ValueError):
+            strided_access(-1)
+
+    def test_empty_access(self):
+        r = analyze_warp_access([])
+        assert r.sectors == 0
+        assert r.efficiency == 0.0
+
+
+class TestProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_sector_count_bounds(self, addrs, width):
+        r = analyze_warp_access(addrs, bytes_per_lane=width)
+        # at least enough sectors for the span of one element, at most
+        # one-per-lane plus straddles
+        assert 1 <= r.sectors <= len(addrs) * (1 + width // 32 + 1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 512), st.sampled_from([1, 2, 4, 8, 16]))
+    def test_efficiency_bounded_for_distinct_strides(self, stride,
+                                                     width):
+        r = strided_access(stride, bytes_per_lane=width)
+        if stride >= width:   # non-overlapping requests
+            assert r.efficiency <= 1.0 + 1e-12
+        assert r.efficiency >= 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 1 << 16))
+    def test_translation_invariance_when_aligned(self, pages):
+        base = pages * SECTOR_BYTES
+        assert strided_access(4, base=base).sectors \
+            == strided_access(4, base=0).sectors

@@ -1,0 +1,98 @@
+"""Tests for the P-chase latency benchmark (Table IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import PChase, measure_latencies
+from repro.memory.pchase import _chain
+
+#: Table IV reference values
+PAPER_TABLE4 = {
+    "RTX4090": {"L1 Cache": 43.4, "Shared": 30.1, "L2 Cache": 273.0,
+                "Global": 541.5},
+    "A100": {"L1 Cache": 37.9, "Shared": 29.0, "L2 Cache": 261.5,
+             "Global": 466.3},
+    "H800": {"L1 Cache": 40.7, "Shared": 29.0, "L2 Cache": 263.0,
+             "Global": 478.8},
+}
+
+
+class TestChain:
+    def test_sequential_chain_visits_all(self):
+        nxt = _chain(16)
+        seen, idx = set(), 0
+        for _ in range(16):
+            seen.add(idx)
+            idx = int(nxt[idx])
+        assert seen == set(range(16))
+        assert idx == 0  # closed cycle
+
+    def test_random_chain_is_permutation_cycle(self):
+        nxt = _chain(64, seed=42)
+        seen, idx = set(), 0
+        for _ in range(64):
+            assert idx not in seen
+            seen.add(idx)
+            idx = int(nxt[idx])
+        assert len(seen) == 64
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            _chain(1)
+
+
+class TestPerLevelLatency:
+    def test_l1(self, any_device):
+        r = PChase(any_device).l1_latency(iters=256)
+        assert r.hits_at_level == 1.0
+        assert r.mean_latency_clk == pytest.approx(
+            any_device.mem_latencies.l1_hit_clk, rel=1e-6)
+
+    def test_shared(self, any_device):
+        r = PChase(any_device).shared_latency(iters=128)
+        assert r.mean_latency_clk == pytest.approx(
+            any_device.mem_latencies.shared_clk)
+
+    def test_l2(self, any_device):
+        r = PChase(any_device).l2_latency(array_kib=2048, iters=256)
+        assert r.hits_at_level == 1.0
+        assert r.mean_latency_clk == pytest.approx(
+            any_device.mem_latencies.l2_hit_clk, rel=1e-6)
+
+    def test_l2_probe_must_fit(self, h800):
+        with pytest.raises(ValueError, match="fit in L2"):
+            PChase(h800).l2_latency(array_kib=h800.cache.l2_size_kib * 2)
+
+    def test_global_capacity_misses(self, tiny_device):
+        r = PChase(tiny_device).global_latency(iters=256)
+        assert r.hits_at_level > 0.99
+        assert r.mean_latency_clk == pytest.approx(
+            tiny_device.mem_latencies.global_clk, rel=0.01)
+
+    def test_cold_tlb_costs_more(self, tiny_device):
+        p = PChase(tiny_device)
+        warm = p.global_latency(iters=128).mean_latency_clk
+        cold = p.global_latency_cold_tlb(iters=128).mean_latency_clk
+        assert cold > warm + 100
+
+
+class TestTable4:
+    @pytest.mark.parametrize("device_name", sorted(PAPER_TABLE4))
+    def test_matches_paper(self, device_name):
+        from repro.arch import get_device
+        got = measure_latencies(get_device(device_name), fast=True)
+        for level, expect in PAPER_TABLE4[device_name].items():
+            assert got[level] == pytest.approx(expect, rel=0.02), \
+                (device_name, level)
+
+    def test_paper_ratios(self):
+        from repro.arch import get_device
+        results = {d: measure_latencies(get_device(d), fast=True)
+                   for d in PAPER_TABLE4}
+        l2_l1 = sum(r["L2 Cache"] / r["L1 Cache"]
+                    for r in results.values()) / 3
+        g_l2 = sum(r["Global"] / r["L2 Cache"]
+                   for r in results.values()) / 3
+        assert l2_l1 == pytest.approx(6.5, rel=0.1)
+        assert g_l2 == pytest.approx(1.9, rel=0.1)

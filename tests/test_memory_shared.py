@@ -1,0 +1,128 @@
+"""Tests for banked shared memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import SharedMemory
+
+
+class TestStorage:
+    def test_write_read_roundtrip(self):
+        sm = SharedMemory(1024)
+        payload = np.arange(16, dtype=np.uint32)
+        sm.write(64, payload)
+        back = sm.read(64, 64).view(np.uint32)
+        assert np.array_equal(back, payload)
+
+    def test_u32_helpers(self):
+        sm = SharedMemory(64)
+        sm.write_u32(8, 0xDEADBEEF)
+        assert sm.read_u32(8) == 0xDEADBEEF
+
+    def test_bytes_payload(self):
+        sm = SharedMemory(16)
+        sm.write(0, b"\x01\x02\x03\x04")
+        assert list(sm.read(0, 4)) == [1, 2, 3, 4]
+
+    def test_bounds_checked(self):
+        sm = SharedMemory(64)
+        with pytest.raises(IndexError):
+            sm.read(60, 8)
+        with pytest.raises(IndexError):
+            sm.write_u32(-4, 1)
+
+    def test_fill(self):
+        sm = SharedMemory(32)
+        sm.write_u32(0, 7)
+        sm.fill(0)
+        assert sm.read_u32(0) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SharedMemory(0)
+
+
+class TestAtomics:
+    def test_atomic_add_returns_old(self):
+        sm = SharedMemory(16)
+        assert sm.atomic_add_u32(0, 5) == 0
+        assert sm.atomic_add_u32(0, 3) == 5
+        assert sm.read_u32(0) == 8
+        assert sm.atomic_ops == 2
+
+    def test_atomic_wraps_u32(self):
+        sm = SharedMemory(16)
+        sm.write_u32(0, 0xFFFFFFFF)
+        sm.atomic_add_u32(0, 1)
+        assert sm.read_u32(0) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=100))
+    def test_atomic_sum_correct(self, increments):
+        sm = SharedMemory(8)
+        for v in increments:
+            sm.atomic_add_u32(0, v)
+        assert sm.read_u32(0) == sum(increments) % (1 << 32)
+
+
+class TestBankConflicts:
+    def test_conflict_free_unit_stride(self):
+        sm = SharedMemory(4096)
+        rep = sm.conflict_report([4 * i for i in range(32)])
+        assert rep.degree == 1
+        assert rep.conflicting_banks == 0
+
+    def test_broadcast(self):
+        sm = SharedMemory(4096)
+        rep = sm.conflict_report([128] * 32)
+        assert rep.broadcast
+        assert rep.serialized_passes == 1
+
+    def test_two_way_conflict_stride_8(self):
+        sm = SharedMemory(8192)
+        # stride 8 bytes = 2 words: lanes land on 16 even banks, 2 each
+        rep = sm.conflict_report([8 * i for i in range(32)])
+        assert rep.degree == 2
+        assert rep.conflicting_banks == 16
+        assert rep.serialized_passes == 2
+
+    def test_sixteen_way_conflict_stride_64(self):
+        sm = SharedMemory(8192)
+        # stride 64 bytes = 16 words: only banks 0 and 16 are hit,
+        # 16 distinct words each
+        rep = sm.conflict_report([64 * i for i in range(32)])
+        assert rep.degree == 16
+        assert rep.conflicting_banks == 2
+
+    def test_32_way_worst_case(self):
+        sm = SharedMemory(32 * 32 * 4)
+        # stride of 32 words: every lane hits bank 0 with distinct words
+        rep = sm.conflict_report([128 * i for i in range(32)])
+        assert rep.degree == 32
+
+    def test_same_word_not_a_conflict(self):
+        sm = SharedMemory(4096)
+        # two lanes reading the same word broadcast; a third elsewhere
+        rep = sm.conflict_report([0, 0, 4])
+        assert rep.degree == 1
+
+    def test_access_cycles_adds_replays(self):
+        sm = SharedMemory(8192)
+        base = 29.0
+        free = sm.access_cycles([4 * i for i in range(32)], base)
+        conflicted = sm.access_cycles([128 * i for i in range(32)], base)
+        assert free == base
+        assert conflicted == base + 31
+
+    def test_too_many_lanes(self):
+        sm = SharedMemory(256)
+        with pytest.raises(ValueError):
+            sm.conflict_report([0] * 33)
+
+    def test_empty_access(self):
+        sm = SharedMemory(256)
+        assert sm.conflict_report([]).serialized_passes == 1

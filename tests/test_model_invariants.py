@@ -1,0 +1,202 @@
+"""Cross-cutting model invariants (property-based).
+
+These don't pin paper numbers — they assert physics the models must
+never violate regardless of configuration: nothing exceeds its peak,
+throttles only reduce, resources monotonically constrain, scaling laws
+hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_device
+from repro.isa import (
+    MatrixShape,
+    MmaInstruction,
+    OperandSource,
+    WgmmaInstruction,
+)
+from repro.isa.dtypes import DType
+from repro.isa.mma import mma_shapes, valid_wgmma_n
+from repro.power import PowerModel
+from repro.sm.occupancy import BlockConfig, occupancy
+from repro.tensorcore import TensorCoreTimingModel
+
+_WGMMA_TYPES = [
+    (DType.FP16, DType.FP16), (DType.FP16, DType.FP32),
+    (DType.BF16, DType.FP32), (DType.TF32, DType.FP32),
+    (DType.E4M3, DType.FP16), (DType.E4M3, DType.FP32),
+    (DType.E5M2, DType.FP32), (DType.INT8, DType.INT32),
+]
+
+
+class TestWgmmaInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(st.sampled_from(valid_wgmma_n()),
+           st.sampled_from(_WGMMA_TYPES),
+           st.booleans(),
+           st.sampled_from(list(OperandSource)))
+    def test_never_exceeds_peak(self, n, types, sparse, src):
+        ab, cd = types
+        h800 = get_device("H800")
+        t = TensorCoreTimingModel(h800).wgmma(
+            WgmmaInstruction(ab, cd, n, sparse=sparse, a_source=src))
+        peak = h800.tc_peak_tflops(ab.peak_key, sparse=sparse)
+        assert t.throughput_tflops("zero") <= peak * 1.0001
+        assert t.throughput_tflops("rand") \
+            <= t.throughput_tflops("zero") * 1.0001
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(_WGMMA_TYPES), st.booleans())
+    def test_rs_throughput_monotone_in_n(self, types, sparse):
+        ab, cd = types
+        tm = TensorCoreTimingModel(get_device("H800"))
+        vals = [
+            tm.wgmma(WgmmaInstruction(
+                ab, cd, n, sparse=sparse,
+                a_source=OperandSource.REGISTER)).throughput_tflops()
+            for n in (8, 32, 64, 128, 256)
+        ]
+        assert all(a <= b * 1.0001 for a, b in zip(vals, vals[1:]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(valid_wgmma_n()),
+           st.sampled_from(_WGMMA_TYPES))
+    def test_ss_never_beats_rs(self, n, types):
+        ab, cd = types
+        tm = TensorCoreTimingModel(get_device("H800"))
+        for sparse in (False, True):
+            ss = tm.wgmma(WgmmaInstruction(
+                ab, cd, n, sparse=sparse,
+                a_source=OperandSource.SHARED))
+            rs = tm.wgmma(WgmmaInstruction(
+                ab, cd, n, sparse=sparse,
+                a_source=OperandSource.REGISTER))
+            assert ss.throughput_tflops() \
+                <= rs.throughput_tflops() * 1.0001
+            assert ss.latency_clk >= rs.latency_clk
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(valid_wgmma_n()),
+           st.sampled_from(_WGMMA_TYPES), st.booleans(),
+           st.sampled_from(list(OperandSource)))
+    def test_interval_at_least_latency(self, n, types, sparse, src):
+        ab, cd = types
+        t = TensorCoreTimingModel(get_device("H800")).wgmma(
+            WgmmaInstruction(ab, cd, n, sparse=sparse, a_source=src))
+        assert t.issue_interval_clk >= t.latency_clk
+
+
+class TestMmaInvariants:
+    def _all_instrs(self):
+        out = []
+        for ab in (DType.FP16, DType.TF32, DType.INT8):
+            for cd in (DType.FP16, DType.FP32, DType.INT32):
+                try:
+                    shapes = mma_shapes(ab)
+                except ValueError:
+                    continue
+                for shape in shapes:
+                    for sparse in (False, True):
+                        try:
+                            out.append(MmaInstruction(ab, cd, shape,
+                                                      sparse=sparse))
+                        except ValueError:
+                            pass
+        return out
+
+    @pytest.mark.parametrize("dev", ["A100", "RTX4090", "H800"])
+    def test_never_exceeds_clocked_peak(self, dev):
+        device = get_device(dev)
+        tm = TensorCoreTimingModel(device)
+        for instr in self._all_instrs():
+            t = tm.mma(instr)
+            peak = device.tc_peak_tflops(instr.ab_type.peak_key,
+                                         sparse=instr.sparse)
+            assert t.throughput_tflops() <= peak * 1.0001, instr.opcode
+
+    @pytest.mark.parametrize("dev", ["A100", "RTX4090", "H800"])
+    def test_sparse_never_slower_than_dense(self, dev):
+        tm = TensorCoreTimingModel(get_device(dev))
+        for instr in self._all_instrs():
+            if instr.sparse:
+                continue
+            dense = tm.mma(instr).throughput_tflops()
+            sparse = tm.mma(MmaInstruction(
+                instr.ab_type, instr.cd_type, instr.shape,
+                sparse=True)).throughput_tflops()
+            assert sparse >= dense * 0.9999
+
+    def test_throughput_scales_with_sms(self, h800):
+        """A consistently half-sized device (half the SMs, half the
+        spec peaks) sustains exactly half the throughput."""
+        from dataclasses import replace
+        tm_full = TensorCoreTimingModel(h800)
+        half = h800.with_overrides(
+            num_sms=57,
+            tensor_core=replace(
+                h800.tensor_core,
+                dense_peak_tflops={
+                    k: v / 2
+                    for k, v in
+                    h800.tensor_core.dense_peak_tflops.items()
+                },
+            ),
+        )
+        tm_half = TensorCoreTimingModel(half)
+        instr = MmaInstruction(DType.FP16, DType.FP32,
+                               MatrixShape(16, 8, 16))
+        assert tm_half.mma(instr).throughput_tflops() == pytest.approx(
+            tm_full.mma(instr).throughput_tflops() / 2, rel=1e-6)
+
+
+class TestOccupancyInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(32, 1024), st.integers(16, 128),
+           st.integers(0, 100 * 1024))
+    def test_more_resources_never_more_blocks(self, threads, regs,
+                                              smem):
+        h800 = get_device("H800")
+        base = occupancy(h800, BlockConfig(threads, regs, smem))
+        hungrier = occupancy(
+            h800, BlockConfig(min(threads * 2, 1024), regs, smem))
+        assert hungrier.blocks_per_sm <= base.blocks_per_sm * 2
+        more_smem = occupancy(
+            h800, BlockConfig(threads, regs, smem + 4096))
+        assert more_smem.blocks_per_sm <= base.blocks_per_sm
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(32, 1024), st.integers(16, 255))
+    def test_threads_never_exceed_sm_budget(self, threads, regs):
+        h800 = get_device("H800")
+        occ = occupancy(h800, BlockConfig(threads, regs))
+        assert occ.blocks_per_sm * threads <= h800.max_threads_per_sm
+
+
+class TestPowerInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=5000.0),
+           st.booleans(),
+           st.floats(min_value=0.0, max_value=1e14))
+    def test_throttled_power_never_exceeds_cap(self, tflops, sparse,
+                                               operand_rate):
+        h800 = get_device("H800")
+        pm = PowerModel(h800)
+        rep = pm.report(op="wgmma", ab=DType.FP16, cd=DType.FP32,
+                        tflops=tflops, sparse=sparse,
+                        operand_bytes_per_s=operand_rate)
+        assert rep.power_watts <= h800.power_cap_watts * 1.001
+        assert 0.0 <= rep.throttle_scale <= 1.0
+        assert rep.throughput_tflops <= tflops * 1.0001
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=2000.0))
+    def test_power_monotone_in_rate(self, tflops):
+        pm = PowerModel(get_device("A100"))
+        lo = pm.dynamic_watts(op="mma", ab=DType.FP16, cd=DType.FP16,
+                              tflops=tflops)
+        hi = pm.dynamic_watts(op="mma", ab=DType.FP16, cd=DType.FP16,
+                              tflops=tflops * 2)
+        assert hi == pytest.approx(2 * lo)

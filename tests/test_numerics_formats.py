@@ -1,0 +1,241 @@
+"""Tests for the generic floating-point codec."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics import (
+    BF16, E4M3, E5M2, FP16, FP32, FP64, TF32, FloatFormat, get_format,
+)
+
+ALL_FORMATS = [FP16, BF16, TF32, E4M3, E5M2]
+BITCODEC_FORMATS = [FP16, BF16, E4M3, E5M2]
+
+
+class TestFormatConstants:
+    """The published constants of each format."""
+
+    def test_fp16(self):
+        assert FP16.max_finite == 65504.0
+        assert FP16.min_normal == pytest.approx(6.103515625e-05)
+        assert FP16.min_subnormal == pytest.approx(5.960464477539063e-08)
+        assert FP16.machine_epsilon == 2 ** -10
+
+    def test_bf16(self):
+        assert BF16.max_finite == pytest.approx(3.3895313892515355e38)
+        assert BF16.emax == 127
+        assert BF16.machine_epsilon == 2 ** -7
+
+    def test_tf32(self):
+        # TF32: FP32 range, 10 explicit mantissa bits, 32-bit storage
+        assert TF32.emax == 127
+        assert TF32.machine_epsilon == 2 ** -10
+        assert TF32.storage_bits == 32
+        assert TF32.storage_bytes == 4.0
+
+    def test_e4m3(self):
+        # OCP FP8 E4M3: no infinities, max finite 448
+        assert E4M3.max_finite == 448.0
+        assert E4M3.min_normal == 2 ** -6
+        assert E4M3.min_subnormal == 2 ** -9
+        assert not E4M3.has_inf
+        assert E4M3.saturate_on_overflow
+
+    def test_e5m2(self):
+        # OCP FP8 E5M2: IEEE-style, max finite 57344
+        assert E5M2.max_finite == 57344.0
+        assert E5M2.min_normal == 2 ** -14
+        assert E5M2.min_subnormal == 2 ** -16
+        assert E5M2.has_inf
+
+    def test_fp32_fp64_reference(self):
+        assert FP32.max_finite == pytest.approx(3.4028234663852886e38)
+        assert FP64.machine_epsilon == 2 ** -52
+
+    def test_storage_defaults(self):
+        assert FP16.storage_bits == 16
+        assert E4M3.storage_bits == 8
+        assert E5M2.storage_bits == 8
+
+    def test_get_format_aliases(self):
+        assert get_format("fp8") is E4M3
+        assert get_format("FP16") is FP16
+        assert get_format("fp8_e5m2") is E5M2
+        with pytest.raises(KeyError):
+            get_format("fp12")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exp_bits=1, man_bits=4)
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exp_bits=5, man_bits=60)
+
+
+class TestQuantize:
+    def test_exact_values_unchanged(self):
+        for f in ALL_FORMATS:
+            for v in (0.0, 1.0, -2.0, 0.5, f.max_finite, f.min_normal,
+                      f.min_subnormal):
+                assert float(f.quantize(v)) == v, (f.name, v)
+
+    def test_round_to_nearest_even(self):
+        # FP16 ulp at 1.0 is 2^-10; halfway points round to even
+        ulp = 2 ** -10
+        assert float(FP16.quantize(1.0 + ulp / 2)) == 1.0       # down
+        assert float(FP16.quantize(1.0 + 3 * ulp / 2)) == 1.0 + 2 * ulp
+
+    def test_overflow_to_inf(self):
+        assert math.isinf(float(FP16.quantize(70000.0)))
+        assert math.isinf(float(E5M2.quantize(1e6)))
+        assert float(FP16.quantize(-70000.0)) == -math.inf
+
+    def test_e4m3_saturates(self):
+        assert float(E4M3.quantize(1e6)) == 448.0
+        assert float(E4M3.quantize(-1e6)) == -448.0
+        assert float(E4M3.quantize(math.inf)) == 448.0
+
+    def test_fp16_boundary_rounding(self):
+        # 65519.99 rounds to 65504 (max), 65520 rounds to 65536 → inf
+        assert float(FP16.quantize(65519.0)) == 65504.0
+        assert math.isinf(float(FP16.quantize(65520.0)))
+
+    def test_underflow_to_zero(self):
+        for f in ALL_FORMATS:
+            tiny = f.min_subnormal / 4
+            assert float(f.quantize(tiny)) == 0.0
+
+    def test_subnormal_quantization(self):
+        # halfway between 0 and min_subnormal rounds to even (0)
+        v = FP16.min_subnormal * 1.5
+        q = float(FP16.quantize(v))
+        assert q in (FP16.min_subnormal, 2 * FP16.min_subnormal)
+        assert float(FP16.quantize(FP16.min_subnormal * 3)) == \
+            FP16.min_subnormal * 3
+
+    def test_nan_passthrough(self):
+        assert math.isnan(float(FP16.quantize(float("nan"))))
+        assert math.isnan(float(E4M3.quantize(float("nan"))))
+
+    def test_e4m3_infinity_input(self):
+        # E4M3 has no inf; saturating format clamps it
+        assert float(E4M3.quantize(math.inf)) == 448.0
+
+    def test_array_quantization(self):
+        x = np.array([1.0, 1.0005, 65519.0, 1e-9, -3.14159])
+        q = FP16.quantize(x)
+        assert q.shape == x.shape
+        assert q[0] == 1.0
+        assert q[3] == 0.0
+
+    def test_tf32_truncates_fp32_mantissa(self):
+        # a value needing >10 mantissa bits moves under TF32
+        v = 1.0 + 2 ** -13
+        assert float(TF32.quantize(v)) != v
+        assert float(FP32.quantize(v)) == v
+
+    def test_representable(self):
+        assert FP16.representable(1.0)
+        assert not FP16.representable(1.0 + 2 ** -13)
+        assert FP16.representable(float("nan"))
+        assert FP16.representable(float("inf"))
+        assert not E4M3.representable(449.0)
+
+    def test_ulp(self):
+        assert FP16.ulp(1.0) == 2 ** -10
+        assert FP16.ulp(2.0) == 2 ** -9
+        assert FP16.ulp(0.0) == FP16.min_subnormal
+        assert FP16.ulp(-4.0) == FP16.ulp(4.0)
+
+
+class TestQuantizeProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     width=64, min_value=-1e30, max_value=1e30),
+           st.sampled_from(ALL_FORMATS))
+    def test_idempotent(self, x, fmt):
+        once = float(fmt.quantize(x))
+        twice = float(fmt.quantize(once))
+        assert once == twice or (math.isnan(once) and math.isnan(twice))
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e4, max_value=1e4),
+           st.sampled_from(ALL_FORMATS))
+    def test_error_within_half_ulp(self, x, fmt):
+        q = float(fmt.quantize(x))
+        if math.isinf(q):
+            return
+        if abs(x) > fmt.max_finite:      # saturated
+            assert abs(q) == fmt.max_finite
+            return
+        assert abs(q - x) <= fmt.ulp(x) / 2 * (1 + 1e-12)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(min_value=-1e4, max_value=1e4,
+                     allow_nan=False),
+           st.floats(min_value=-1e4, max_value=1e4,
+                     allow_nan=False),
+           st.sampled_from(ALL_FORMATS))
+    def test_monotone(self, a, b, fmt):
+        lo, hi = sorted((a, b))
+        assert float(fmt.quantize(lo)) <= float(fmt.quantize(hi))
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+           st.sampled_from(ALL_FORMATS))
+    def test_sign_symmetry(self, x, fmt):
+        assert float(fmt.quantize(-x)) == -float(fmt.quantize(x))
+
+
+class TestBitCodec:
+    @pytest.mark.parametrize("fmt", BITCODEC_FORMATS,
+                             ids=lambda f: f.name)
+    def test_known_patterns_fp_one(self, fmt):
+        one = fmt.to_bits(1.0)
+        # 1.0 encodes as bias << man_bits
+        assert int(one) == fmt.bias << fmt.man_bits
+        assert float(fmt.from_bits(one)) == 1.0
+
+    def test_fp16_reference_patterns(self):
+        assert int(FP16.to_bits(1.0)) == 0x3C00
+        assert int(FP16.to_bits(-2.0)) == 0xC000
+        assert int(FP16.to_bits(65504.0)) == 0x7BFF
+        assert int(FP16.to_bits(float("inf"))) == 0x7C00
+        assert int(FP16.to_bits(0.0)) == 0x0000
+
+    def test_e4m3_reference_patterns(self):
+        # 448 = S.1111.110
+        assert int(E4M3.to_bits(448.0)) == 0b0_1111_110
+        assert math.isnan(float(E4M3.from_bits(0b0_1111_111)))
+
+    @pytest.mark.parametrize("fmt", BITCODEC_FORMATS,
+                             ids=lambda f: f.name)
+    def test_exhaustive_roundtrip_small_formats(self, fmt):
+        if fmt.storage_bits > 8:
+            pytest.skip("exhaustive only for 8-bit formats")
+        for bits in range(256):
+            v = float(fmt.from_bits(bits))
+            if math.isnan(v):
+                continue
+            back = int(fmt.to_bits(v))
+            assert back == bits, (bits, v, back)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.floats(min_value=-60000, max_value=60000,
+                     allow_nan=False),
+           st.sampled_from(BITCODEC_FORMATS))
+    def test_value_bits_value_roundtrip(self, x, fmt):
+        q = float(fmt.quantize(x))
+        if math.isnan(q) or math.isinf(q):
+            return
+        assert float(fmt.from_bits(fmt.to_bits(q))) == q
+
+    def test_large_format_bitcodec_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            TF32.to_bits(1.0)
+        with pytest.raises(NotImplementedError):
+            FP32.from_bits(0)

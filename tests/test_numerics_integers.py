@@ -1,0 +1,96 @@
+"""Tests for integer formats and symmetric quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics import INT4, INT8, dequantize_int, quantize_int
+from repro.numerics.integers import INT32, IntFormat
+
+
+class TestIntFormat:
+    def test_ranges(self):
+        assert (INT8.min_value, INT8.max_value) == (-128, 127)
+        assert (INT4.min_value, INT4.max_value) == (-8, 7)
+        assert INT32.max_value == 2 ** 31 - 1
+
+    def test_storage(self):
+        assert INT8.storage_bytes == 1.0
+        assert INT4.storage_bytes == 0.5
+
+    def test_clip(self):
+        x = np.array([-300, -128, 0, 127, 300])
+        assert list(INT8.clip(x)) == [-128, -128, 0, 127, 127]
+
+    def test_wrap_two_complement(self):
+        assert int(INT8.wrap(np.array([128]))[0]) == -128
+        assert int(INT8.wrap(np.array([-129]))[0]) == 127
+        assert int(INT8.wrap(np.array([255]))[0]) == -1
+        assert int(INT8.wrap(np.array([127]))[0]) == 127
+
+    def test_wrap_int32_overflow(self):
+        assert int(INT32.wrap(np.array([2 ** 31]))[0]) == -(2 ** 31)
+
+    def test_representable(self):
+        assert INT4.representable(7)
+        assert not INT4.representable(8)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IntFormat("bad", 1)
+        with pytest.raises(ValueError):
+            IntFormat("bad", 64)
+
+
+class TestQuantizeInt:
+    def test_roundtrip_on_grid(self):
+        x = np.array([-1.0, 0.0, 0.5, 1.0])
+        q, scale = quantize_int(x, INT8)
+        back = dequantize_int(q, scale)
+        assert np.allclose(back, x, atol=scale / 2 + 1e-12)
+
+    def test_auto_scale_uses_amax(self):
+        x = np.array([0.0, 63.5, -127.0])
+        q, scale = quantize_int(x, INT8)
+        assert scale == pytest.approx(1.0)
+        assert q.max() <= 127 and q.min() >= -128
+
+    def test_explicit_scale(self):
+        q, scale = quantize_int(np.array([2.0, 4.0]), INT8, scale=2.0)
+        assert list(q) == [1, 2]
+        assert scale == 2.0
+
+    def test_saturation(self):
+        q, _ = quantize_int(np.array([1.0, 100.0]), INT8, scale=0.01)
+        assert q[1] == 127
+
+    def test_zero_tensor(self):
+        q, scale = quantize_int(np.zeros(4), INT8)
+        assert scale == 1.0
+        assert not q.any()
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            quantize_int(np.ones(2), INT8, scale=0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False),
+                    min_size=1, max_size=32))
+    def test_error_bounded_by_half_step(self, values):
+        x = np.array(values)
+        q, scale = quantize_int(x, INT8)
+        back = dequantize_int(q, scale)
+        # within half a quantisation step unless clipped
+        err = np.abs(back - x)
+        assert np.all(err <= scale / 2 + 1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False),
+                    min_size=1, max_size=16))
+    def test_grid_values_in_range(self, values):
+        q, _ = quantize_int(np.array(values), INT4)
+        assert q.max() <= 7 and q.min() >= -8

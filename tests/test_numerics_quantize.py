@@ -1,0 +1,108 @@
+"""Tests for the TE-style FP8 tensor quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics import (
+    E4M3,
+    E5M2,
+    QuantizedTensor,
+    amax_scale,
+    dequantize_fp8,
+    quantization_error,
+    quantize_fp8,
+)
+
+
+class TestAmaxScale:
+    def test_places_amax_at_max_finite(self):
+        x = np.array([0.5, -896.0, 10.0])
+        s = amax_scale(x, E4M3)
+        assert 896.0 / s == pytest.approx(E4M3.max_finite)
+
+    def test_margin_backs_off(self):
+        x = np.array([448.0])
+        assert amax_scale(x, E4M3, margin=1.0) == pytest.approx(
+            2 * amax_scale(x, E4M3))
+
+    def test_degenerate_inputs(self):
+        assert amax_scale(np.zeros(4)) == 1.0
+        assert amax_scale(np.array([])) == 1.0
+        assert amax_scale(np.array([np.inf])) == 1.0
+
+
+class TestQuantizeFp8:
+    def test_roundtrip_error_small(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 128))
+        qt = quantize_fp8(x)
+        err = np.abs(qt.dequantize() - x)
+        # E4M3 eps/2 relative to amax-scaled values
+        assert np.max(err / np.maximum(np.abs(x), 1e-3)) < 0.08
+
+    def test_data_on_fp8_grid(self):
+        x = np.random.default_rng(1).normal(size=64)
+        qt = quantize_fp8(x)
+        requant = E4M3.quantize(qt.data)
+        assert np.array_equal(requant, qt.data)
+
+    def test_no_saturation_after_amax_scaling(self):
+        x = np.array([1e9, -2e9, 3.0])  # huge dynamic range
+        qt = quantize_fp8(x)
+        assert np.max(np.abs(qt.data)) <= E4M3.max_finite
+
+    def test_e5m2_variant(self):
+        x = np.random.default_rng(2).normal(size=32)
+        qt = quantize_fp8(x, E5M2)
+        assert qt.fmt is E5M2
+        # coarser mantissa → larger error than E4M3
+        e5 = quantization_error(x, E5M2)
+        e4 = quantization_error(x, E4M3)
+        assert e5 > e4
+
+    def test_explicit_scale(self):
+        qt = quantize_fp8(np.array([4.0]), scale=2.0)
+        assert qt.scale == 2.0
+        assert float(qt.data[0]) == 2.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            quantize_fp8(np.ones(2), scale=-1.0)
+
+    def test_nbytes(self):
+        qt = quantize_fp8(np.ones((8, 8)))
+        assert qt.nbytes == 64  # 1 byte per element
+
+    def test_dequantize_function(self):
+        x = np.array([1.0, -2.0])
+        qt = quantize_fp8(x)
+        assert np.allclose(dequantize_fp8(qt), x, rtol=0.07)
+
+
+class TestQuantizationError:
+    def test_zero_for_representable(self):
+        x = np.array([448.0, -224.0, 0.0])
+        assert quantization_error(x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_and_zero(self):
+        assert quantization_error(np.array([])) == 0.0
+        assert quantization_error(np.zeros(8)) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False).filter(
+                                  lambda v: abs(v) > 1e-6),
+                    min_size=2, max_size=64))
+    def test_relative_rms_bounded(self, values):
+        x = np.array(values)
+        # E4M3 has 3 mantissa bits: worst-case relative error per
+        # element ≈ 2^-4 of the *amax*, so RMS relative to tensor RMS
+        # stays well below 1 for any scale-coherent data.
+        err = quantization_error(x, E4M3)
+        amax = np.max(np.abs(x))
+        rms = np.sqrt(np.mean(x * x))
+        assert err <= (E4M3.machine_epsilon / 2 * amax / rms
+                       + 0.07)  # subnormal slack

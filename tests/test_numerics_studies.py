@@ -1,0 +1,61 @@
+"""Tests for the numeric-behaviour probes and the FP8 accuracy study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.te import Precision
+from repro.te.accuracy import layer_accuracy, linear_accuracy
+from repro.tensorcore.numerics_study import run_all_probes
+
+
+class TestNumericProbes:
+    def test_all_probes_pass(self):
+        results = run_all_probes()
+        failed = [r for r in results if not r.passed]
+        assert not failed, "\n".join(
+            f"{r.name}: {r.detail}" for r in failed)
+
+    def test_probe_coverage(self):
+        names = {r.name for r in run_all_probes()}
+        assert {"exact products", "FP32 accumulation",
+                "FP16 accumulation", "round-to-nearest-even",
+                "subnormal inputs", "TF32 input precision",
+                "FP8 overflow", "INT32 accumulator"} <= names
+
+    def test_probe_details_filled(self):
+        for r in run_all_probes():
+            assert r.behaviour
+            assert r.detail
+
+
+class TestLinearAccuracy:
+    def test_precision_ordering(self):
+        reports = {r.precision: r for r in linear_accuracy(seed=1)}
+        # FP16 (10 mantissa bits) < BF16 (7) < FP8 (3)
+        assert reports[Precision.FP16].rel_rms \
+            < reports[Precision.BF16].rel_rms \
+            < reports[Precision.FP8].rel_rms
+
+    def test_magnitudes(self):
+        reports = {r.precision: r for r in linear_accuracy(seed=2)}
+        assert reports[Precision.FP16].rel_rms < 1e-3
+        assert reports[Precision.FP8].rel_rms < 0.05
+
+    def test_seed_determinism(self):
+        a = linear_accuracy(seed=3)
+        b = linear_accuracy(seed=3)
+        assert [(r.precision, r.rel_rms) for r in a] \
+            == [(r.precision, r.rel_rms) for r in b]
+
+
+class TestLayerAccuracy:
+    def test_fp8_layer_error_bounded(self):
+        out = layer_accuracy(seed=0)
+        assert out[Precision.FP16].rel_rms == pytest.approx(0.0)
+        assert 0.0 < out[Precision.FP8].rel_rms < 0.1
+
+    def test_report_str(self):
+        out = layer_accuracy(seed=0)
+        s = str(out[Precision.FP8])
+        assert "TransformerLayer" in s and "FP8" in s

@@ -1,0 +1,62 @@
+"""Tests for the tiled GEMM driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.dtypes import DType
+from repro.numerics import FP16
+from repro.tensorcore import TiledGemm
+
+
+class TestTiledGemm:
+    def test_result_matches_quantized_reference(self, h800):
+        g = TiledGemm(h800, DType.FP16, DType.FP32)
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(70, 40))
+        b = rng.normal(size=(40, 50))
+        rep = g.run(a, b)
+        ref = FP16.quantize(a) @ FP16.quantize(b)
+        assert np.allclose(rep.result, ref, rtol=1e-6)
+        assert rep.result.shape == (70, 50)
+
+    def test_tile_selection_per_arch(self, h800, a100):
+        gh = TiledGemm(h800, DType.FP16, DType.FP32)
+        ga = TiledGemm(a100, DType.FP16, DType.FP32)
+        assert gh.tile_shape.m == 64        # wgmma tile
+        assert ga.tile_shape.m == 16        # mma tile
+
+    def test_instruction_count_covers_padded_tiles(self, h800):
+        g = TiledGemm(h800, DType.FP16, DType.FP32)
+        rep = g.run(np.ones((65, 17)), np.ones((17, 257)))
+        ts = g.tile_shape
+        import math
+        expect = (math.ceil(65 / ts.m) * math.ceil(257 / ts.n)
+                  * math.ceil(17 / ts.k))
+        assert rep.instructions == expect
+
+    def test_flop_accounting(self, a100):
+        g = TiledGemm(a100, DType.FP16, DType.FP32)
+        rep = g.run(np.ones((32, 16)), np.ones((16, 8)))
+        assert rep.flops == 2 * 32 * 16 * 8
+        assert rep.est_seconds > 0
+        assert rep.est_tflops > 100
+
+    def test_c_addend(self, a100):
+        g = TiledGemm(a100, DType.FP16, DType.FP32)
+        c = np.full((4, 4), 3.0)
+        rep = g.run(np.eye(4), np.eye(4), c=c)
+        assert np.allclose(rep.result, np.eye(4) + 3.0)
+
+    def test_dim_mismatch(self, h800):
+        g = TiledGemm(h800, DType.FP16, DType.FP32)
+        with pytest.raises(ValueError, match="inner dims"):
+            g.run(np.ones((4, 5)), np.ones((6, 4)))
+
+    def test_int8_gemm(self, h800):
+        g = TiledGemm(h800, DType.INT8, DType.INT32)
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0]])
+        rep = g.run(a, b)
+        assert np.array_equal(rep.result, a @ b)
