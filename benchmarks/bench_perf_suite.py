@@ -1,0 +1,67 @@
+"""The experiment suite itself as a benchmark (exp id PERF).
+
+Times a cold full-suite run against a warm (result-cached) rerun and
+asserts the cache actually pays for itself — the property the
+``BENCH_perf.json`` trajectory records.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.perf import ResultCache, run_experiments
+
+SUBSET = ["table03_devices", "table04_mem_latency", "table06_sass",
+          "fig06_dpx_latency"]
+
+
+def test_warm_cache_beats_cold(tmp_path):
+    cache = ResultCache(tmp_path / "rc")
+    t0 = time.perf_counter()
+    cold = run_experiments(SUBSET, cache=cache)
+    cold_s = time.perf_counter() - t0
+
+    warm_cache = ResultCache(tmp_path / "rc")
+    t0 = time.perf_counter()
+    warm = run_experiments(SUBSET, cache=warm_cache)
+    warm_s = time.perf_counter() - t0
+
+    assert warm_cache.stats.hits == len(SUBSET)
+    assert {n: r.render() for n, r in warm.results.items()} == \
+        {n: r.render() for n, r in cold.results.items()}
+    # the whole point of the cache: a warm rerun is much cheaper
+    assert warm_s < cold_s / 2, (
+        f"warm {warm_s:.3f}s not faster than cold {cold_s:.3f}s"
+    )
+
+
+def test_bench_cold_suite(benchmark, tmp_path):
+    def cold():
+        return run_experiments(SUBSET,
+                               cache=ResultCache(tmp_path / "cold"))
+
+    report = benchmark.pedantic(cold, rounds=1, iterations=1)
+    assert report.passed
+
+
+def test_bench_warm_suite(benchmark, tmp_path):
+    run_experiments(SUBSET, cache=ResultCache(tmp_path / "warm"))
+
+    def warm():
+        return run_experiments(SUBSET,
+                               cache=ResultCache(tmp_path / "warm"))
+
+    report = benchmark(warm)
+    assert report.passed
+    assert all(t.cached for t in report.profiler.timings)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_bench_parallel_subset(benchmark, jobs):
+    report = benchmark.pedantic(
+        run_experiments, args=(SUBSET,), kwargs={"jobs": jobs},
+        rounds=1, iterations=1,
+    )
+    assert report.passed

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""CI gate: compare a fresh BENCH_perf.json against the committed one.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE CURRENT \
+        [--threshold 3.0] [--floor-ms 50]
+
+Exits non-zero when any experiment's fresh wall time exceeds
+``threshold ×`` its baseline (both clamped up to the floor first — see
+:func:`repro.perf.compare_bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf import compare_bench, load_bench_json
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_perf.json")
+    ap.add_argument("current", help="freshly generated BENCH_perf.json")
+    ap.add_argument("--threshold", type=float, default=3.0,
+                    help="allowed slowdown factor (default: 3.0)")
+    ap.add_argument("--floor-ms", type=float, default=50.0,
+                    help="clamp timings up to this before comparing "
+                         "(default: 50ms)")
+    args = ap.parse_args(argv)
+
+    baseline = load_bench_json(args.baseline)
+    current = load_bench_json(args.current)
+    problems = compare_bench(baseline, current,
+                             threshold=args.threshold,
+                             floor_s=args.floor_ms / 1e3)
+    if problems:
+        print(f"{len(problems)} perf regression(s) vs {args.baseline}:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    n = len(baseline.get("experiments", {}))
+    print(f"no perf regressions across {n} experiments "
+          f"(threshold {args.threshold:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,13 @@ import pytest
 from repro.core import run_experiment
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Keep benchmark runs off the user's real result cache."""
+    monkeypatch.setenv("HOPPERDISSECT_CACHE_DIR",
+                       str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def paper_artefact():
     """Run a registered experiment, verify its checks, return result."""

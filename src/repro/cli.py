@@ -5,8 +5,15 @@ Subcommands::
     hopperdissect list                 # all experiments
     hopperdissect run table07_mma      # one experiment + checks
     hopperdissect run --all            # everything
+    hopperdissect run --all --jobs 4   # ... on four processes
+    hopperdissect run --all --profile  # ... + timings → BENCH_perf.json
     hopperdissect devices              # Table III
     hopperdissect report -o EXPERIMENTS.md
+
+Results are served from a content-addressed on-disk cache
+(``~/.cache/hopperdissect`` or ``$HOPPERDISSECT_CACHE_DIR``) keyed on
+the source tree and device specs, so a re-run with nothing changed is
+near-instant; ``--no-cache`` forces fresh builds.
 """
 
 from __future__ import annotations
@@ -20,7 +27,6 @@ from repro.core import (
     get_experiment,
     list_experiments,
     run_all,
-    run_experiment,
 )
 from repro.core.report import experiments_markdown, summary_line
 
@@ -43,18 +49,34 @@ def _cmd_devices(_args) -> int:
     return 0
 
 
+def _make_cache(args):
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.perf import ResultCache
+
+    return ResultCache()
+
+
 def _cmd_run(args) -> int:
     names = list_experiments() if args.all else args.experiments
     if not names:
         print("nothing to run: name experiments or pass --all",
               file=sys.stderr)
         return 2
+    from repro.perf import run_experiments, write_bench_json
+
+    report = run_experiments(names, jobs=args.jobs,
+                             cache=_make_cache(args))
     failed = 0
-    for name in names:
-        res = run_experiment(name)
+    for res in report.results.values():
         print(res.render())
         print()
         failed += sum(1 for c in res.checks if not c.passed)
+    if args.profile:
+        print(report.profiler.render())
+        bench_path = args.bench_json or "BENCH_perf.json"
+        write_bench_json(bench_path, report.profiler)
+        print(f"wrote {bench_path}")
     if failed:
         print(f"{failed} finding check(s) FAILED", file=sys.stderr)
         return 1
@@ -68,7 +90,7 @@ def _cmd_fidelity(_args) -> int:
 
 
 def _cmd_report(args) -> int:
-    results = run_all()
+    results = run_all(jobs=args.jobs, cache=_make_cache(args))
     md = experiments_markdown(results)
     if args.output:
         with open(args.output, "w") as fh:
@@ -94,11 +116,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("devices", help="show device specs").set_defaults(
         fn=_cmd_devices)
 
+    def add_perf_flags(sp) -> None:
+        sp.add_argument("-j", "--jobs", type=int, default=1,
+                        metavar="N",
+                        help="run experiments on N processes")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk result cache")
+
     run_p = sub.add_parser("run", help="run experiments")
     run_p.add_argument("experiments", nargs="*",
                        help="experiment names (see `list`)")
     run_p.add_argument("--all", action="store_true",
                        help="run every experiment")
+    add_perf_flags(run_p)
+    run_p.add_argument("--profile", action="store_true",
+                       help="print per-experiment timings and write "
+                            "the BENCH_perf.json trajectory")
+    run_p.add_argument("--bench-json", default=None, metavar="PATH",
+                       help="where --profile writes timings "
+                            "(default: BENCH_perf.json)")
     run_p.set_defaults(fn=_cmd_run)
 
     sub.add_parser(
@@ -110,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="generate the EXPERIMENTS.md report")
     rep_p.add_argument("-o", "--output", default=None,
                        help="output path (default: stdout)")
+    add_perf_flags(rep_p)
     rep_p.set_defaults(fn=_cmd_report)
     return p
 

@@ -91,6 +91,17 @@ def run_experiment(name: str) -> ExperimentResult:
     return get_experiment(name).run()
 
 
-def run_all() -> Dict[str, ExperimentResult]:
-    """Run every registered experiment (the EXPERIMENTS.md generator)."""
-    return {name: run_experiment(name) for name in list_experiments()}
+def run_all(*, jobs: int = 1, cache=None) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment (the EXPERIMENTS.md generator).
+
+    ``jobs > 1`` fans the builders out over a process pool and
+    ``cache`` (a :class:`repro.perf.ResultCache`) serves previously
+    computed results; both are wall-time-only knobs — the returned
+    mapping is identical to the serial uncached run, in
+    :func:`list_experiments` order.
+    """
+    if jobs <= 1 and cache is None:
+        return {name: run_experiment(name) for name in list_experiments()}
+    from repro.perf.runner import run_experiments
+
+    return run_experiments(jobs=jobs, cache=cache).results

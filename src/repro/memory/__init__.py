@@ -19,10 +19,16 @@ Implements the substrate beneath the paper's §III-A experiments:
 from __future__ import annotations
 
 from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.cache_scalar import ScalarSetAssociativeCache
 from repro.memory.shared import BankConflictReport, SharedMemory
 from repro.memory.dram import DramChannel
 from repro.memory.tlb import Tlb
-from repro.memory.hierarchy import AccessResult, MemoryHierarchy, MemLevel
+from repro.memory.hierarchy import (
+    AccessResult,
+    BatchAccessResult,
+    MemoryHierarchy,
+    MemLevel,
+)
 from repro.memory.pchase import PChase, PChaseResult, measure_latencies
 from repro.memory.throughput import (
     MemoryThroughputModel,
@@ -33,6 +39,7 @@ from repro.memory.cache_study import CacheProbe, DetectedParameters
 
 __all__ = [
     "SetAssociativeCache",
+    "ScalarSetAssociativeCache",
     "CacheStats",
     "SharedMemory",
     "BankConflictReport",
@@ -41,6 +48,7 @@ __all__ = [
     "MemoryHierarchy",
     "MemLevel",
     "AccessResult",
+    "BatchAccessResult",
     "PChase",
     "PChaseResult",
     "measure_latencies",

@@ -1,4 +1,4 @@
-"""Sectored set-associative cache model.
+"""Sectored set-associative cache model (vectorized).
 
 Nvidia caches are organised as 128-byte lines split into 32-byte
 sectors: a tag covers the whole line but data is filled per sector, so
@@ -7,12 +7,32 @@ the sectors it needs.  The model tracks tags + per-sector validity with
 true-LRU replacement, which is sufficient for every access pattern the
 paper's microbenchmarks generate (sequential warm-up passes followed by
 pointer chases).
+
+The state lives in NumPy matrices of shape ``(num_sets, ways)`` —
+``_lines`` (resident line address), ``_valid`` (per-sector valid
+bitmask) and ``_stamp`` (LRU timestamp) — with a flat
+``line address → way`` dict as the lookup index, so a scalar
+:meth:`access` is O(1) in the associativity instead of a linear way
+scan, and constructing a cache is O(1) in its capacity (the matrices
+are callocated, never eagerly initialised).  The batched
+:meth:`access_many` additionally recognises the dominant warm-up
+pattern (monotonically ascending, single-sector accesses into an empty
+cache — what :meth:`warm` and the P-chase initialisation passes emit)
+and computes the final state matrices in closed form with array
+operations, skipping the per-access loop entirely.
+
+Behaviour is access-for-access identical to the original scalar
+implementation, preserved as
+:class:`repro.memory.cache_scalar.ScalarSetAssociativeCache` and
+enforced by property-based tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
 
 __all__ = ["SetAssociativeCache", "CacheStats"]
 
@@ -38,17 +58,6 @@ class CacheStats:
     def reset(self) -> None:
         self.accesses = self.hits = 0
         self.sector_misses = self.tag_misses = self.evictions = 0
-
-
-class _Line:
-    """One cache line: tag + per-sector valid bits + LRU stamp."""
-
-    __slots__ = ("tag", "valid_sectors", "stamp")
-
-    def __init__(self, tag: int, sectors: int, stamp: int) -> None:
-        self.tag = tag
-        self.valid_sectors = 0  # bitmask over sectors
-        self.stamp = stamp
 
 
 class SetAssociativeCache:
@@ -84,6 +93,8 @@ class SetAssociativeCache:
         num_lines = size_bytes // line_bytes
         if num_lines % ways:
             raise ValueError("line count must be divisible by ways")
+        if line_bytes // sector_bytes > 63:
+            raise ValueError("at most 63 sectors per line (int64 bitmask)")
         self.name = name
         self.size_bytes = size_bytes
         self.line_bytes = line_bytes
@@ -93,20 +104,30 @@ class SetAssociativeCache:
         self.sectors_per_line = line_bytes // sector_bytes
         self.stats = CacheStats()
         self._clock = 0
-        # sets[set_index] -> list of _Line (size <= ways)
-        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        self._ins_counter = 0   # global insertion sequence (LRU tie-break)
+        self._alloc_state()
+
+    def _alloc_state(self) -> None:
+        # Occupied ways of a set are always 0.._set_fill[set]-1, so the
+        # zero-initialised matrices are never read before being written.
+        shape = (self.num_sets, self.ways)
+        self._lines = np.zeros(shape, dtype=np.int64)   # line addresses
+        self._valid = np.zeros(shape, dtype=np.int64)   # sector bitmasks
+        self._stamp = np.zeros(shape, dtype=np.int64)   # LRU timestamps
+        self._ins = np.zeros(shape, dtype=np.int64)     # insertion seq
+        self._set_fill = np.zeros(self.num_sets, dtype=np.int64)
+        self._where: Dict[int, int] = {}                # line addr → way
 
     # -- address helpers ----------------------------------------------------
 
     def _locate(self, addr: int) -> Tuple[int, int, int]:
         line_addr = addr // self.line_bytes
         set_idx = line_addr % self.num_sets
-        tag = line_addr // self.num_sets
         sector = (addr % self.line_bytes) // self.sector_bytes
-        return set_idx, tag, sector
+        return line_addr, set_idx, sector
 
     def _sector_span(self, addr: int, size: int) -> List[Tuple[int, int, int]]:
-        """All (set, tag, sector) triples a [addr, addr+size) access
+        """All (line, set, sector) triples a [addr, addr+size) access
         touches.  Accesses are at most a line in practice."""
         out = []
         a = addr
@@ -119,88 +140,211 @@ class SetAssociativeCache:
     # -- main interface -------------------------------------------------------
 
     def access(self, addr: int, size: int = 4, *, write: bool = False,
-               allocate: bool = True) -> bool:
+               allocate: bool = True, record: bool = True) -> bool:
         """Probe the cache; returns True iff *all* touched sectors hit.
 
         Misses fill the touched sectors (when ``allocate``), evicting
         the LRU line of the set if the set is full.  Write policy is
         write-allocate (both L1 and L2 on these parts are
         write-allocate for the access sizes we model).
+
+        ``record=False`` updates the cache state (fills, LRU stamps)
+        without touching :attr:`stats` — the warm-up path, so reported
+        hit rates cover only the measured phase.
         """
         self._clock += 1
-        self.stats.accesses += 1
+        clock = self._clock
+        if record:
+            self.stats.accesses += 1
         all_hit = True
-        touched = self._sector_span(addr, size)
-        for set_idx, tag, sector in touched:
-            line = self._find(set_idx, tag)
+        valid = self._valid
+        stamp = self._stamp
+        where = self._where
+        for line_addr, set_idx, sector in self._sector_span(addr, size):
+            way = where.get(line_addr)
             bit = 1 << sector
-            if line is not None and line.valid_sectors & bit:
-                line.stamp = self._clock
+            if way is not None and int(valid[set_idx, way]) & bit:
+                stamp[set_idx, way] = clock
                 continue
             all_hit = False
-            if line is not None:
-                self.stats.sector_misses += 1
+            if way is not None:
+                if record:
+                    self.stats.sector_misses += 1
                 if allocate:
-                    line.valid_sectors |= bit
-                    line.stamp = self._clock
+                    valid[set_idx, way] |= bit
+                    stamp[set_idx, way] = clock
             else:
-                self.stats.tag_misses += 1
+                if record:
+                    self.stats.tag_misses += 1
                 if allocate:
-                    self._fill(set_idx, tag, bit)
-        if all_hit:
+                    self._insert(line_addr, set_idx, bit, record)
+        if all_hit and record:
             self.stats.hits += 1
         return all_hit
 
+    def access_many(self, addrs: Union[Sequence[int], np.ndarray],
+                    size: int = 4, *, write: bool = False,
+                    allocate: bool = True,
+                    record: bool = True) -> np.ndarray:
+        """Batched :meth:`access` — semantically identical to calling
+        ``access`` once per address in order; returns the per-access
+        hit booleans.
+
+        Ascending single-sector streams into an empty cache (the
+        ``warm()`` / initialisation-pass pattern) are resolved in
+        closed form without a per-access loop; anything else falls
+        back to the exact scalar path.
+        """
+        a = np.ascontiguousarray(addrs, dtype=np.int64)
+        if a.ndim != 1:
+            raise ValueError("addrs must be one-dimensional")
+        n = len(a)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if allocate and not self._where and self._bulk_ok(a, size):
+            return self._bulk_fill(a, record)
+        out = np.empty(n, dtype=bool)
+        acc = self.access
+        for i, addr in enumerate(a.tolist()):
+            out[i] = acc(addr, size, write=write, allocate=allocate,
+                         record=record)
+        return out
+
     def probe(self, addr: int, size: int = 4) -> bool:
         """Non-destructive lookup (no fill, no LRU update, no stats)."""
-        for set_idx, tag, sector in self._sector_span(addr, size):
-            line = self._find(set_idx, tag)
-            if line is None or not (line.valid_sectors & (1 << sector)):
+        for line_addr, set_idx, sector in self._sector_span(addr, size):
+            way = self._where.get(line_addr)
+            if way is None or not (int(self._valid[set_idx, way])
+                                   & (1 << sector)):
                 return False
         return True
 
-    def warm(self, base: int, size: int) -> None:
-        """Fill an address range (the ``ld.ca`` warm-up pass)."""
-        addr = (base // self.sector_bytes) * self.sector_bytes
+    def warm(self, base: int, size: int, *, record: bool = False) -> None:
+        """Fill an address range (the ``ld.ca`` warm-up pass).
+
+        Warm-up accesses advance the LRU clock exactly like measured
+        ones but by default leave :attr:`stats` untouched, matching
+        the paper's warm-up-then-measure protocol.
+        """
+        start = (base // self.sector_bytes) * self.sector_bytes
         end = base + size
-        while addr < end:
-            self.access(addr, self.sector_bytes)
-            addr += self.sector_bytes
+        if start >= end:
+            return
+        addrs = np.arange(start, end, self.sector_bytes, dtype=np.int64)
+        self.access_many(addrs, self.sector_bytes, record=record)
 
     def flush(self) -> None:
-        for s in self._sets:
-            s.clear()
+        self._alloc_state()
         self.stats.reset()
 
     # -- internals --------------------------------------------------------------
 
-    def _find(self, set_idx: int, tag: int) -> Optional[_Line]:
-        for line in self._sets[set_idx]:
-            if line.tag == tag:
-                return line
-        return None
+    def _insert(self, line_addr: int, set_idx: int, sector_bits: int,
+                record: bool) -> None:
+        fill = int(self._set_fill[set_idx])
+        if fill >= self.ways:
+            # true LRU: smallest stamp; ties (multi-line accesses share
+            # one clock) broken by insertion order, like the scalar
+            # model's list scan.
+            row = self._stamp[set_idx]
+            ties = np.flatnonzero(row == row.min())
+            if len(ties) == 1:
+                way = int(ties[0])
+            else:
+                way = int(ties[np.argmin(self._ins[set_idx, ties])])
+            del self._where[int(self._lines[set_idx, way])]
+            if record:
+                self.stats.evictions += 1
+        else:
+            way = fill
+            self._set_fill[set_idx] = fill + 1
+        self._lines[set_idx, way] = line_addr
+        self._valid[set_idx, way] = sector_bits
+        self._stamp[set_idx, way] = self._clock
+        self._ins[set_idx, way] = self._ins_counter
+        self._ins_counter += 1
+        self._where[line_addr] = way
 
-    def _fill(self, set_idx: int, tag: int, sector_bits: int) -> None:
-        lines = self._sets[set_idx]
-        if len(lines) >= self.ways:
-            victim = min(lines, key=lambda l: l.stamp)
-            lines.remove(victim)
-            self.stats.evictions += 1
-        line = _Line(tag, self.sectors_per_line, self._clock)
-        line.valid_sectors = sector_bits
-        line.stamp = self._clock
-        lines.append(line)
+    def _bulk_ok(self, addrs: np.ndarray, size: int) -> bool:
+        """Is this stream eligible for the closed-form fill?"""
+        if size <= 0:
+            return False
+        if addrs[0] < 0:
+            return False
+        # single sector per access …
+        if np.any(addrs % self.sector_bytes + size > self.sector_bytes):
+            return False
+        # … and strictly ascending sectors (each touched once).
+        sectors = addrs // self.sector_bytes
+        return bool(np.all(np.diff(sectors) > 0)) if len(addrs) > 1 \
+            else True
+
+    def _bulk_fill(self, addrs: np.ndarray, record: bool) -> np.ndarray:
+        """Closed-form fill of an empty cache from an ascending
+        single-sector stream.
+
+        Every access is a miss (first touch of its sector); a line's
+        sectors arrive consecutively, so per set the lines arrive in
+        ascending order and LRU keeps the last ``ways`` of them.
+        Stamps and insertion sequence are assigned exactly as the
+        sequential path would.
+        """
+        n = len(addrs)
+        line = addrs // self.line_bytes
+        sector = (addrs % self.line_bytes) // self.sector_bytes
+        first = np.flatnonzero(np.r_[True, line[1:] != line[:-1]])
+        bounds = np.r_[first[1:], n]
+        lines_u = line[first]
+        n_lines = len(lines_u)
+        valid_u = np.bitwise_or.reduceat(np.int64(1) << sector, first)
+        stamp_u = self._clock + bounds          # clock after last touch
+        ins_u = self._ins_counter + np.arange(n_lines)
+        set_u = lines_u % self.num_sets
+
+        # keep the newest `ways` lines of every set
+        order = np.argsort(set_u, kind="stable")
+        ss = set_u[order]
+        grp_first = np.flatnonzero(np.r_[True, ss[1:] != ss[:-1]])
+        grp_sizes = np.r_[grp_first[1:], n_lines] - grp_first
+        sizes_rep = np.repeat(grp_sizes, grp_sizes)
+        cum = np.arange(n_lines) - np.repeat(grp_first, grp_sizes)
+        keep = cum >= sizes_rep - self.ways
+        way_sorted = cum - np.maximum(sizes_rep - self.ways, 0)
+
+        kept = order[keep]
+        set_k = set_u[kept]
+        way_k = way_sorted[keep]
+        line_k = lines_u[kept]
+        self._lines[set_k, way_k] = line_k
+        self._valid[set_k, way_k] = valid_u[kept]
+        self._stamp[set_k, way_k] = stamp_u[kept]
+        self._ins[set_k, way_k] = ins_u[kept]
+        self._set_fill[ss[grp_first]] = np.minimum(grp_sizes, self.ways)
+        self._where.update(zip(line_k.tolist(), way_k.tolist()))
+
+        self._clock += n
+        self._ins_counter += n_lines
+        if record:
+            self.stats.accesses += n
+            self.stats.tag_misses += n_lines
+            self.stats.sector_misses += n - n_lines
+            self.stats.evictions += int(
+                np.maximum(grp_sizes - self.ways, 0).sum())
+        return np.zeros(n, dtype=bool)
 
     # -- introspection -------------------------------------------------------------
 
     @property
     def resident_bytes(self) -> int:
         """Bytes of valid sectors currently cached."""
-        total = 0
-        for s in self._sets:
-            for line in s:
-                total += bin(line.valid_sectors).count("1")
-        return total * self.sector_bytes
+        if not self._where:
+            return 0
+        if hasattr(np, "bitwise_count"):
+            sectors = int(np.bitwise_count(self._valid).sum())
+        else:  # pragma: no cover - numpy < 2.0
+            sectors = int(np.unpackbits(
+                self._valid.astype(np.uint64).view(np.uint8)).sum())
+        return sectors * self.sector_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

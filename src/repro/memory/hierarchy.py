@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Sequence, Union
+
+import numpy as np
 
 from repro.arch import DeviceSpec
 from repro.isa.memory_ops import CacheOp
@@ -18,7 +20,8 @@ from repro.memory.cache import SetAssociativeCache
 from repro.memory.dram import DramChannel
 from repro.memory.tlb import Tlb
 
-__all__ = ["MemLevel", "AccessResult", "MemoryHierarchy"]
+__all__ = ["MemLevel", "AccessResult", "BatchAccessResult",
+           "MemoryHierarchy"]
 
 
 class MemLevel(enum.Enum):
@@ -37,6 +40,23 @@ class AccessResult:
     latency_clk: float
     level: MemLevel
     tlb_hit: bool
+
+
+@dataclass(frozen=True)
+class BatchAccessResult:
+    """Outcome of a batched :meth:`MemoryHierarchy.load_many`."""
+
+    latency_clk: np.ndarray       # per-access total latency
+    level_counts: Dict[MemLevel, int]
+    tlb_hits: int
+
+    @property
+    def accesses(self) -> int:
+        return len(self.latency_clk)
+
+    @property
+    def mean_latency_clk(self) -> float:
+        return float(self.latency_clk.mean()) if self.accesses else 0.0
 
 
 class MemoryHierarchy:
@@ -111,16 +131,75 @@ class MemoryHierarchy:
 
         l2_hit = self.l2.access(addr, size,
                                 allocate=cache_op.allocates_l2)
-        if cache_op.allocates_l1:
-            # fill L1 after the L2-side lookup (access() above already
-            # allocated the line; nothing further to do — the fill
-            # happened in the L1 access call).
-            pass
         if l2_hit:
             return AccessResult(lat.l2_hit_clk + extra, MemLevel.L2, tlb_hit)
         return AccessResult(
             lat.l2_hit_clk + lat.dram_clk + extra, MemLevel.GLOBAL, tlb_hit
         )
+
+    def load_many(
+        self,
+        addrs: Union[Sequence[int], np.ndarray],
+        size: int = 4,
+        *,
+        sm_id: int = 0,
+        cache_op: CacheOp = CacheOp.CACHE_ALL,
+    ) -> BatchAccessResult:
+        """Batched :meth:`load` — semantically identical to issuing the
+        loads one by one in order, but resolved through the caches'
+        vectorized ``access_many`` path.  Used by the P-chase
+        initialisation passes, which stream megabytes of addresses
+        whose outcomes are independent of one another.
+        """
+        a = np.ascontiguousarray(addrs, dtype=np.int64)
+        if a.ndim != 1:
+            raise ValueError("addrs must be one-dimensional")
+        n = len(a)
+        if n and int(a.min()) < 0:
+            raise ValueError("negative address")
+        lat = self.device.mem_latencies
+        tlb_hit = self._tlb_access_many(a)
+        extra = np.where(tlb_hit, 0.0, lat.tlb_miss_clk)
+        l1_hit = np.zeros(n, dtype=bool)
+        if cache_op.allocates_l1 and n:
+            l1_hit = self.l1_for_sm(sm_id).access_many(a, size)
+        l2_hit = np.zeros(n, dtype=bool)
+        miss = np.flatnonzero(~l1_hit)
+        if len(miss):
+            l2_hit[miss] = self.l2.access_many(
+                a[miss], size, allocate=cache_op.allocates_l2)
+        latency = np.where(
+            l1_hit, lat.l1_hit_clk,
+            np.where(l2_hit, lat.l2_hit_clk,
+                     lat.l2_hit_clk + lat.dram_clk),
+        ) + extra
+        n_l1 = int(l1_hit.sum())
+        n_l2 = int(l2_hit.sum())
+        return BatchAccessResult(
+            latency_clk=latency,
+            level_counts={MemLevel.L1: n_l1, MemLevel.L2: n_l2,
+                          MemLevel.GLOBAL: n - n_l1 - n_l2},
+            tlb_hits=int(tlb_hit.sum()),
+        )
+
+    def _tlb_access_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Per-access TLB hit booleans, equivalent to sequential
+        :meth:`Tlb.access` calls (runs of one page collapse: the first
+        access decides, the repeats are guaranteed hits)."""
+        n = len(addrs)
+        hits = np.empty(n, dtype=bool)
+        if not n:
+            return hits
+        pages = addrs // self.tlb.page_bytes
+        starts = np.flatnonzero(np.r_[True, pages[1:] != pages[:-1]])
+        ends = np.r_[starts[1:], n]
+        for s, e, page in zip(starts.tolist(), ends.tolist(),
+                              pages[starts].tolist()):
+            hits[s] = self.tlb.access(page * self.tlb.page_bytes)
+            if e > s + 1:
+                hits[s + 1:e] = True
+                self.tlb.hits += e - s - 1
+        return hits
 
     # -- warm-up helpers used by the microbenchmarks ---------------------------
 

@@ -138,9 +138,10 @@ class PChase:
         # Initialisation pass: streams the array once (warms TLB; the
         # cache contents it leaves behind are self-evicting).
         self.hierarchy.warm_tlb(0, size)
-        for i in range(n):
-            self.hierarchy.load(i * self.STRIDE_BYTES, 32,
-                                cache_op=CacheOp.CACHE_ALL)
+        self.hierarchy.load_many(
+            np.arange(n, dtype=np.int64) * self.STRIDE_BYTES, 32,
+            cache_op=CacheOp.CACHE_ALL,
+        )
         return self._run(n, iters, CacheOp.CACHE_ALL, MemLevel.GLOBAL,
                          "Global")
 

@@ -1,0 +1,43 @@
+"""Performance plumbing for the experiment harness.
+
+Nothing in here changes *what* an experiment computes — this package
+exists so the full suite re-runs fast enough to live in an edit loop:
+
+* :mod:`repro.perf.cache` — a content-addressed on-disk result cache.
+  Keys cover the experiment name, the package version, a digest of
+  every registered device spec and a digest of the ``repro`` source
+  tree, so a cached :class:`~repro.core.registry.ExperimentResult` can
+  only ever be returned when re-running the builder would provably
+  produce the same table and checks.
+* :mod:`repro.perf.profile` — per-experiment wall-clock timings, the
+  ``BENCH_perf.json`` trajectory format and the regression comparator
+  CI runs against the committed baseline.
+* :mod:`repro.perf.runner` — the parallel experiment runner
+  (:func:`~repro.perf.runner.run_experiments`) that fans builders out
+  over a process pool and merges results deterministically in
+  requested-name order.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import ResultCache, ResultCacheStats
+from repro.perf.profile import (
+    ExperimentTiming,
+    Profiler,
+    compare_bench,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.perf.runner import RunReport, run_experiments
+
+__all__ = [
+    "ResultCache",
+    "ResultCacheStats",
+    "ExperimentTiming",
+    "Profiler",
+    "compare_bench",
+    "load_bench_json",
+    "write_bench_json",
+    "RunReport",
+    "run_experiments",
+]

@@ -1,0 +1,189 @@
+"""Content-addressed on-disk cache for experiment results.
+
+An experiment's output is a pure function of (a) its builder code and
+everything it transitively calls, and (b) the registered device specs.
+The cache key therefore hashes the experiment name together with the
+package version, a digest of every :class:`~repro.arch.DeviceSpec` and
+a digest of the whole ``repro`` source tree.  Any edit to any source
+file — even an unrelated one — changes the key and the stale entry is
+simply never looked up again, which is what makes caching safe to
+leave on by default.
+
+Entries store the pickled :class:`~repro.core.tables.Table` and
+:class:`~repro.core.checks.Check` tuple, *not* the
+:class:`~repro.core.registry.ExperimentResult` itself: the result
+holds the experiment (whose builder is an arbitrary callable, often
+unpicklable) and is re-attached from the live registry on load.
+Corrupt or truncated files are treated as misses.  Writes go through a
+temp file + :func:`os.replace` so concurrent runners never observe a
+partial entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.registry import ExperimentResult, get_experiment
+
+__all__ = ["ResultCache", "ResultCacheStats", "default_cache_dir",
+           "source_digest", "device_digest"]
+
+#: bump when the on-disk payload layout changes
+_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """``$HOPPERDISSECT_CACHE_DIR``, else the XDG cache location."""
+    env = os.environ.get("HOPPERDISSECT_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "hopperdissect"
+
+
+def source_digest() -> str:
+    """Digest of every ``.py`` file in the installed ``repro`` tree."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def device_digest() -> str:
+    """Digest of every registered device spec."""
+    from repro.arch import get_device, list_devices
+
+    h = hashlib.sha256()
+    for name in list_devices():
+        h.update(repr(get_device(name)).encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+@dataclass
+class ResultCacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of experiment results.
+
+    ``root=None`` resolves to :func:`default_cache_dir` at first use.
+    """
+
+    root: Optional[Path] = None
+    stats: ResultCacheStats = field(default_factory=ResultCacheStats)
+    _env_digest: Optional[str] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.root is None:
+            self.root = default_cache_dir()
+        self.root = Path(self.root)
+
+    # -- keys ---------------------------------------------------------------
+
+    def environment_digest(self) -> str:
+        """Digest of everything a result depends on besides its name.
+
+        Computed once per cache instance — the source tree cannot
+        change under a running process in a way we could honour
+        anyway.
+        """
+        if self._env_digest is None:
+            import repro
+
+            h = hashlib.sha256()
+            h.update(f"schema={_SCHEMA}\n".encode())
+            h.update(f"version={repro.__version__}\n".encode())
+            h.update(f"devices={device_digest()}\n".encode())
+            h.update(f"source={source_digest()}\n".encode())
+            self._env_digest = h.hexdigest()
+        return self._env_digest
+
+    def path_for(self, name: str) -> Path:
+        key = hashlib.sha256(
+            f"{name}\n{self.environment_digest()}".encode()
+        ).hexdigest()
+        return self.root / f"{name}-{key[:20]}.pkl"
+
+    # -- the cache protocol -------------------------------------------------
+
+    def get(self, name: str) -> Optional[ExperimentResult]:
+        """Return the cached result for ``name`` or ``None``."""
+        path = self.path_for(name)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (payload["schema"] != _SCHEMA
+                    or payload["name"] != name):
+                raise ValueError("stale payload")
+            result = ExperimentResult(
+                experiment=get_experiment(name),
+                table=payload["table"],
+                checks=tuple(payload["checks"]),
+            )
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                ValueError, AttributeError, ImportError):
+            # missing, corrupt, or from an incompatible build: a miss
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, name: str, result: ExperimentResult) -> Path:
+        """Store ``result`` under ``name`` (atomic)."""
+        path = self.path_for(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": _SCHEMA,
+            "name": name,
+            "table": result.table,
+            "checks": tuple(result.checks),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{name}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry under the cache root; returns a count."""
+        if not self.root.is_dir():
+            return 0
+        n = 0
+        for p in self.root.glob("*.pkl"):
+            p.unlink(missing_ok=True)
+            n += 1
+        return n

@@ -1,0 +1,134 @@
+"""Per-experiment wall-clock accounting and the perf trajectory file.
+
+The runner feeds a :class:`Profiler` one
+:class:`ExperimentTiming` per experiment; the profiler renders the
+``--profile`` table and serialises to ``BENCH_perf.json``, the
+committed timing baseline CI compares fresh runs against via
+:func:`compare_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "ExperimentTiming",
+    "Profiler",
+    "write_bench_json",
+    "load_bench_json",
+    "compare_bench",
+]
+
+#: bump when the BENCH_perf.json layout changes
+_BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExperimentTiming:
+    """Wall time of one experiment in one run."""
+
+    name: str
+    wall_s: float
+    cached: bool = False
+
+
+@dataclass
+class Profiler:
+    """Collects per-experiment timings for one suite run."""
+
+    timings: List[ExperimentTiming] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+
+    def add(self, name: str, wall_s: float, *,
+            cached: bool = False) -> None:
+        self.timings.append(ExperimentTiming(name, wall_s, cached))
+
+    @property
+    def total_s(self) -> float:
+        return sum(t.wall_s for t in self.timings)
+
+    def render(self) -> str:
+        """The ``--profile`` table, slowest first."""
+        lines = [f"{'experiment':<30} {'wall':>10}  source"]
+        lines.append("-" * 50)
+        for t in sorted(self.timings, key=lambda t: -t.wall_s):
+            src = "cache" if t.cached else "run"
+            lines.append(f"{t.name:<30} {t.wall_s * 1e3:>8.1f}ms  {src}")
+        lines.append("-" * 50)
+        summary = f"{'total':<30} {self.total_s * 1e3:>8.1f}ms"
+        if self.cache_hits or self.cache_misses:
+            summary += (f"  ({self.cache_hits} cached, "
+                        f"{self.cache_misses} run)")
+        if self.jobs > 1:
+            summary += f"  [jobs={self.jobs}]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": _BENCH_SCHEMA,
+            "jobs": self.jobs,
+            "total_s": round(self.total_s, 6),
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses},
+            "experiments": {
+                t.name: {"wall_s": round(t.wall_s, 6),
+                         "cached": t.cached}
+                for t in self.timings
+            },
+        }
+
+
+def write_bench_json(path: Union[str, Path],
+                     profiler: Profiler) -> None:
+    Path(path).write_text(
+        json.dumps(profiler.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_bench_json(path: Union[str, Path]) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != _BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {data.get('schema')!r}"
+        )
+    return data
+
+
+def compare_bench(baseline: dict, current: dict, *,
+                  threshold: float = 3.0,
+                  floor_s: float = 0.05) -> List[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    An experiment regresses when its fresh (non-cached) wall time
+    exceeds ``threshold ×`` the baseline's — with both sides clamped
+    up to ``floor_s`` first, so sub-millisecond experiments can't trip
+    the gate on scheduler noise.  Cached timings measure the cache,
+    not the experiment, and are skipped on either side.  Experiments
+    missing from ``current`` are reported too: a silently dropped
+    experiment must not look like a speed-up.
+    """
+    problems: List[str] = []
+    base_exps: Dict[str, dict] = baseline.get("experiments", {})
+    cur_exps: Dict[str, dict] = current.get("experiments", {})
+    for name in sorted(base_exps):
+        base = base_exps[name]
+        cur: Optional[dict] = cur_exps.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        if base.get("cached") or cur.get("cached"):
+            continue
+        base_s = max(float(base["wall_s"]), floor_s)
+        cur_s = max(float(cur["wall_s"]), floor_s)
+        if cur_s > threshold * base_s:
+            problems.append(
+                f"{name}: {cur_s:.3f}s vs baseline {base_s:.3f}s "
+                f"({cur_s / base_s:.1f}x > {threshold:.1f}x)"
+            )
+    return problems

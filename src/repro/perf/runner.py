@@ -1,0 +1,123 @@
+"""The parallel experiment runner.
+
+Experiments are independent pure functions, so the suite parallelises
+trivially — the only care needed is determinism (results are merged in
+requested-name order no matter which worker finishes first) and
+picklability (workers ship back ``(name, table, checks, wall)``; the
+:class:`~repro.core.registry.ExperimentResult` is reassembled in the
+parent against its own registry, because ``Experiment.builder`` is an
+arbitrary callable that may not pickle).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+)
+from repro.perf.cache import ResultCache
+from repro.perf.profile import Profiler
+
+__all__ = ["RunReport", "run_experiments"]
+
+
+def _run_one(name: str) -> Tuple[str, object, tuple, float]:
+    """Worker entry point — must stay module-level for pickling.
+
+    Importing :mod:`repro.core` on the worker side (re)populates the
+    registry, so this also works under spawn-style process start
+    methods where the child begins with a blank interpreter.
+    """
+    import repro.core  # noqa: F401  (registers experiments)
+
+    t0 = time.perf_counter()
+    result = get_experiment(name).run()
+    wall = time.perf_counter() - t0
+    return name, result.table, tuple(result.checks), wall
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one :func:`run_experiments` invocation."""
+
+    results: Dict[str, ExperimentResult]   # in requested order
+    profiler: Profiler
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results.values())
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> RunReport:
+    """Run ``names`` (default: all), optionally cached and parallel.
+
+    The returned mapping iterates in requested-name order and every
+    result is identical to what a serial ``run_experiment`` loop would
+    produce — parallelism and caching change wall time only.
+    """
+    if names is None:
+        names = list_experiments()
+    names = list(names)
+    for name in names:
+        get_experiment(name)   # fail fast on unknown names
+
+    profiler = Profiler(jobs=max(1, jobs))
+    results: Dict[str, ExperimentResult] = {}
+    timings: Dict[str, Tuple[float, bool]] = {}
+
+    # 1. serve what we can from the cache
+    pending: List[str] = []
+    for name in names:
+        hit = None
+        if cache is not None:
+            t0 = time.perf_counter()
+            hit = cache.get(name)
+            wall = time.perf_counter() - t0
+        if hit is not None:
+            results[name] = hit
+            timings[name] = (wall, True)
+        else:
+            pending.append(name)
+
+    # 2. run the rest, fanned out if asked to
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                outcomes = list(pool.map(_run_one, pending))
+        else:
+            outcomes = [_run_one(name) for name in pending]
+        for name, table, checks, wall in outcomes:
+            res = ExperimentResult(
+                experiment=get_experiment(name),
+                table=table,
+                checks=checks,
+            )
+            results[name] = res
+            timings[name] = (wall, False)
+            if cache is not None:
+                cache.put(name, res)
+
+    # 3. deterministic merge: requested order, whatever ran where
+    ordered = {name: results[name] for name in names}
+    for name in names:
+        wall, cached = timings[name]
+        profiler.add(name, wall, cached=cached)
+    if cache is not None:
+        profiler.cache_hits = cache.stats.hits
+        profiler.cache_misses = cache.stats.misses
+    else:
+        profiler.cache_misses = len(names)
+    return RunReport(results=ordered, profiler=profiler)

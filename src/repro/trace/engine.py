@@ -7,16 +7,26 @@ round-robin, the documented GTO-ish policy's fair cousin).  An
 instruction is ready when its source registers' values have landed
 (scoreboard) and its unit's pipe has drained its initiation interval.
 
-Time advances with event skipping: when no scheduler can issue, the
-clock jumps to the next time anything changes, so sparse traces don't
-cost wall-time per idle cycle.
+Time advances exactly as in the reference cycle-stepping loop — +1
+cycle after any issue, else a jump to the next cycle anything can
+change — but the per-cycle work is driven by an event heap of
+``(wake-up cycle, scheduler)`` entries instead of a scan over every
+warp: each scheduler carries the exact earliest cycle it could next
+issue, so a cycle only scans the schedulers whose wake-up has come due
+and an idle skip costs O(log schedulers) instead of O(warps).  The one
+cross-scheduler coupling — the optionally SM-wide LSU pipe — is
+handled by marking the other schedulers' wake-ups stale when an LSU
+instruction issues and refreshing them before the next time jump, so
+wake-ups are never optimistically late and the issue schedule is
+bit-identical to the reference scan.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.isa.lowering import FunctionalUnit
 from repro.trace.isa import TraceInstr, WarpTrace
@@ -45,13 +55,14 @@ class SimResult:
 
 
 class _WarpState:
-    __slots__ = ("trace", "pc", "regs", "last_issue")
+    __slots__ = ("trace", "pc", "regs", "last_issue", "index")
 
-    def __init__(self, trace: WarpTrace) -> None:
+    def __init__(self, trace: WarpTrace, index: int) -> None:
         self.trace = trace
         self.pc = 0
         self.regs: Dict[int, float] = {}
         self.last_issue = -1.0
+        self.index = index
 
     @property
     def done(self) -> bool:
@@ -81,7 +92,7 @@ class SmSimulator:
             *, max_cycles: float = 10_000_000.0) -> SimResult:
         if not warps:
             raise ValueError("need at least one warp")
-        states = [_WarpState(w) for w in warps]
+        states = [_WarpState(w, i) for i, w in enumerate(warps)]
         # round-robin warp → scheduler assignment
         owners: List[List[_WarpState]] = [
             [] for _ in range(self.num_schedulers)
@@ -92,9 +103,10 @@ class SmSimulator:
         # per-(scheduler, unit) pipe free time; the LSU is optionally
         # one SM-wide pipe
         pipe_free: Dict[object, float] = {}
+        shared_lsu = self.shared_lsu
 
         def pipe_key(sched: int, unit: FunctionalUnit):
-            if unit is FunctionalUnit.LSU and self.shared_lsu:
+            if unit is FunctionalUnit.LSU and shared_lsu:
                 return unit
             return (sched, unit)
 
@@ -105,54 +117,98 @@ class SmSimulator:
         issued = 0
         now = 0.0
 
+        # Wake-up events: at most one live (cycle, sched, version)
+        # entry per scheduler; `version` invalidates superseded pushes.
+        heap: List = []
+        version = [0] * self.num_schedulers
+        stale: set = set()   # wake-ups possibly early (shared-LSU issue)
+
+        def arm(sid: int, when: float) -> None:
+            version[sid] += 1
+            heapq.heappush(heap, (when, sid, version[sid]))
+
+        def drop_dead() -> None:
+            while heap and heap[0][2] != version[heap[0][1]]:
+                heapq.heappop(heap)
+
+        def scan(sid: int) -> bool:
+            """One scheduler-cycle at `now`; re-arms the wake-up with
+            the exact earliest cycle this scheduler can issue next."""
+            nonlocal issued
+            candidates = sorted(
+                (s for s in owners[sid] if not s.done),
+                key=lambda s: s.last_issue,
+            )
+            issued_here = False
+            next_avail = math.inf
+            for s in candidates:
+                instr = s.current()
+                key = pipe_key(sid, instr.unit)
+                avail = max(s.ready_at(), pipe_free.get(key, 0.0))
+                if avail <= now and not issued_here:
+                    # issue
+                    pipe_free[key] = now + instr.ii_clk
+                    if instr.dst >= 0:
+                        s.regs[instr.dst] = now + instr.latency_clk
+                    s.pc += 1
+                    s.last_issue = now
+                    finish[s.index] = max(finish[s.index],
+                                          now + instr.latency_clk)
+                    issue_counts[instr.unit] = \
+                        issue_counts.get(instr.unit, 0) + 1
+                    busy[instr.unit] = \
+                        busy.get(instr.unit, 0.0) + instr.ii_clk
+                    issued += 1
+                    issued_here = True
+                    if key is instr.unit:   # booked the SM-wide LSU
+                        stale.update(o for o in
+                                     range(self.num_schedulers)
+                                     if o != sid)
+                else:
+                    next_avail = min(next_avail, avail)
+            stale.discard(sid)
+            if issued_here:
+                if any(not s.done for s in owners[sid]):
+                    arm(sid, now + 1.0)
+            elif math.isfinite(next_avail):
+                arm(sid, next_avail)
+            return issued_here
+
+        for sid in range(self.num_schedulers):
+            if owners[sid]:
+                arm(sid, 0.0)
+
         while issued < total:
             if now > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"({issued}/{total} instructions issued)"
                 )
+            # schedulers due at `now`, in scheduler order like the
+            # reference scan (a due wake-up may be pessimistically
+            # early; its scan then just re-arms it)
+            due = []
+            drop_dead()
+            while heap and heap[0][0] <= now:
+                entry = heapq.heappop(heap)
+                due.append(entry[1])
+                drop_dead()
             progressed = False
-            next_event = math.inf
-            for sched_id, sched_warps in enumerate(owners):
-                # oldest-issue-first among ready warps
-                candidates = sorted(
-                    (s for s in sched_warps if not s.done),
-                    key=lambda s: s.last_issue,
-                )
-                issued_here = False
-                for s in candidates:
-                    instr = s.current()
-                    key = pipe_key(sched_id, instr.unit)
-                    avail = max(s.ready_at(), pipe_free.get(key, 0.0))
-                    if avail <= now and not issued_here:
-                        # issue
-                        pipe_free[key] = now + instr.ii_clk
-                        if instr.dst >= 0:
-                            s.regs[instr.dst] = now + instr.latency_clk
-                        s.pc += 1
-                        s.last_issue = now
-                        idx = states.index(s)
-                        finish[idx] = max(finish[idx],
-                                          now + instr.latency_clk)
-                        issue_counts[instr.unit] = \
-                            issue_counts.get(instr.unit, 0) + 1
-                        busy[instr.unit] = \
-                            busy.get(instr.unit, 0.0) + instr.ii_clk
-                        issued += 1
-                        issued_here = True
-                        progressed = True
-                    else:
-                        next_event = min(next_event, max(avail,
-                                                         now + 1.0))
-                if issued_here:
-                    next_event = min(next_event, now + 1.0)
-            if not progressed:
-                if not math.isfinite(next_event):
-                    raise RuntimeError("deadlock: no instruction can "
-                                       "ever become ready")
-                now = next_event
-            else:
+            for sid in sorted(due):
+                progressed |= scan(sid)
+            if progressed:
                 now += 1.0
+                continue
+            # nothing issued: refresh any stale wake-ups, then jump to
+            # the next cycle anything can change
+            for sid in sorted(stale):
+                drop_dead()
+                scan(sid)   # cannot issue (wake-up not due) — re-arms
+            drop_dead()
+            if not heap:
+                raise RuntimeError("deadlock: no instruction can "
+                                   "ever become ready")
+            now = max(heap[0][0], now + 1.0)
 
         return SimResult(
             cycles=max(finish) if finish else 0.0,

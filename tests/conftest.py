@@ -7,6 +7,14 @@ import pytest
 from repro.arch import get_device
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Point the result cache at a throwaway dir so tests never read
+    or write the user's real cache."""
+    monkeypatch.setenv("HOPPERDISSECT_CACHE_DIR",
+                       str(tmp_path / "result-cache"))
+
+
 @pytest.fixture(scope="session")
 def a100():
     return get_device("A100")

@@ -38,7 +38,7 @@ class TestCli:
         # patching run_all
         import repro.cli as cli
 
-        def fake_run_all():
+        def fake_run_all(**_kw):
             from repro.core import run_experiment
             return {"table03_devices": run_experiment("table03_devices")}
 
@@ -56,3 +56,55 @@ class TestCli:
         p = build_parser()
         args = p.parse_args(["run", "--all"])
         assert args.all
+        assert args.jobs == 1 and not args.no_cache
+        assert not args.profile and args.bench_json is None
+
+
+class TestPerfFlags:
+    def test_run_uses_cache_across_invocations(self, capsys):
+        assert main(["run", "table03_devices"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "table03_devices"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_no_cache(self, capsys):
+        assert main(["run", "--no-cache", "table03_devices"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_run_jobs(self, capsys):
+        assert main(["run", "-j", "2", "table03_devices",
+                     "table06_sass"]) == 0
+        out = capsys.readouterr().out
+        # requested order, not completion order
+        assert "HGMMA" in out and "H800" in out
+        assert out.index("H800") < out.index("HGMMA")
+
+    def test_run_profile_writes_bench_json(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_perf.json"
+        assert main(["run", "table03_devices", "--profile",
+                     "--bench-json", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "table03_devices" in out and f"wrote {bench}" in out
+        from repro.perf import load_bench_json
+        data = load_bench_json(bench)
+        assert "table03_devices" in data["experiments"]
+
+    def test_report_accepts_jobs(self, tmp_path, capsys):
+        import repro.cli as cli
+
+        seen = {}
+
+        def fake_run_all(**kw):
+            seen.update(kw)
+            from repro.core import run_experiment
+            return {"table03_devices": run_experiment("table03_devices")}
+
+        orig = cli.run_all
+        cli.run_all = fake_run_all
+        try:
+            out_file = tmp_path / "EXP.md"
+            assert main(["report", "-o", str(out_file), "--jobs", "3",
+                         "--no-cache"]) == 0
+        finally:
+            cli.run_all = orig
+        assert seen["jobs"] == 3 and seen["cache"] is None

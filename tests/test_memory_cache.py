@@ -160,3 +160,93 @@ class TestProperties:
             [1 for _ in range(0)]) <= s.accesses  # hits bounded
         assert s.hits <= s.accesses
         assert s.misses >= 0
+
+
+def _state_fingerprint(cache, addrs):
+    """Observable state: probes over every touched sector + occupancy."""
+    probes = tuple(cache.probe(a) for a in addrs)
+    return probes, cache.resident_bytes
+
+
+class TestScalarEquivalence:
+    """The vectorized cache is access-for-access identical to the
+    preserved scalar reference implementation."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 14),  # addr
+                st.integers(min_value=1, max_value=200),      # size
+                st.booleans(),                                # write
+                st.booleans(),                                # allocate
+            ),
+            min_size=1, max_size=120,
+        )
+    )
+    def test_access_stream_equivalence(self, stream):
+        from repro.memory import ScalarSetAssociativeCache
+
+        vec = small_cache()
+        ref = ScalarSetAssociativeCache(
+            4096, line_bytes=128, sector_bytes=32, ways=4, name="ref")
+        for addr, size, write, allocate in stream:
+            assert vec.access(addr, size, write=write,
+                              allocate=allocate) == \
+                ref.access(addr, size, write=write, allocate=allocate)
+        assert vec.stats == ref.stats
+        touched = [a for a, *_ in stream]
+        assert _state_fingerprint(vec, touched) == \
+            _state_fingerprint(ref, touched)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 14),
+                 min_size=1, max_size=150),
+        st.integers(min_value=1, max_value=64),
+        st.booleans(),
+    )
+    def test_access_many_matches_sequential(self, addrs, size, allocate):
+        import numpy as np
+
+        batched = small_cache()
+        seq = small_cache()
+        got = batched.access_many(np.array(addrs, dtype=np.int64),
+                                  size, allocate=allocate)
+        want = [seq.access(a, size, allocate=allocate) for a in addrs]
+        assert got.tolist() == want
+        assert batched.stats == seq.stats
+        assert _state_fingerprint(batched, addrs) == \
+            _state_fingerprint(seq, addrs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=1 << 12),
+           st.integers(min_value=1, max_value=64))
+    def test_warm_bulk_path_equivalence(self, base, n_sectors):
+        """The ascending single-sector stream (the warm/init-pass
+        shape) takes the closed-form bulk path; the scalar model is
+        the ground truth for it."""
+        from repro.memory import ScalarSetAssociativeCache
+
+        base = (base // 32) * 32
+        size = n_sectors * 32
+        vec = small_cache()
+        ref = ScalarSetAssociativeCache(
+            4096, line_bytes=128, sector_bytes=32, ways=4, name="ref")
+        vec.warm(base, size, record=True)
+        ref.warm(base, size)
+        assert vec.stats == ref.stats
+        touched = list(range(base, base + size, 32))
+        assert _state_fingerprint(vec, touched) == \
+            _state_fingerprint(ref, touched)
+
+    def test_warm_record_false_leaves_stats_clean(self):
+        c = small_cache()
+        c.warm(0, 1024)
+        assert c.stats.accesses == 0 and c.stats.misses == 0
+        assert all(c.probe(a) for a in range(0, 1024, 32))
+        # ... while the recorded variant counts every access
+        c2 = small_cache()
+        c2.warm(0, 1024, record=True)
+        assert c2.stats.accesses == 1024 // 32
+        assert c2.resident_bytes == c.resident_bytes

@@ -1,0 +1,130 @@
+"""Tests for the result cache and the perf trajectory format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_experiment
+from repro.perf import (
+    Profiler,
+    ResultCache,
+    compare_bench,
+    load_bench_json,
+    write_bench_json,
+)
+
+EXP = "table03_devices"
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        assert cache.get(EXP) is None
+        res = run_experiment(EXP)
+        cache.put(EXP, res)
+        got = cache.get(EXP)
+        assert got is not None
+        assert got.render() == res.render()
+        assert got.experiment is res.experiment
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        cache.put(EXP, run_experiment(EXP))
+        cache.path_for(EXP).write_bytes(b"not a pickle")
+        assert cache.get(EXP) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        cache.put(EXP, run_experiment(EXP))
+        path = cache.path_for(EXP)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(EXP) is None
+
+    def test_keys_separate_experiments(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        cache.put(EXP, run_experiment(EXP))
+        assert cache.get("table06_sass") is None
+
+    def test_default_root_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOPPERDISSECT_CACHE_DIR",
+                           str(tmp_path / "from-env"))
+        cache = ResultCache()
+        cache.put(EXP, run_experiment(EXP))
+        assert (tmp_path / "from-env").is_dir()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        cache.put(EXP, run_experiment(EXP))
+        assert cache.clear() == 1
+        assert cache.get(EXP) is None
+
+
+def _profiler() -> Profiler:
+    p = Profiler(jobs=2)
+    p.add("exp_a", 0.5)
+    p.add("exp_b", 0.001, cached=True)
+    p.cache_hits, p.cache_misses = 1, 1
+    return p
+
+
+class TestBenchJson:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        write_bench_json(path, _profiler())
+        data = load_bench_json(path)
+        assert data["experiments"]["exp_a"]["wall_s"] == 0.5
+        assert data["experiments"]["exp_b"]["cached"] is True
+        assert data["jobs"] == 2
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99}')
+        with pytest.raises(ValueError, match="schema"):
+            load_bench_json(path)
+
+    def test_render_mentions_cache(self):
+        out = _profiler().render()
+        assert "exp_a" in out and "cache" in out
+        assert "1 cached" in out
+
+
+def _bench(walls, cached=()):
+    return {
+        "schema": 1,
+        "experiments": {
+            name: {"wall_s": w, "cached": name in cached}
+            for name, w in walls.items()
+        },
+    }
+
+
+class TestCompareBench:
+    def test_no_regression(self):
+        base = _bench({"a": 0.2, "b": 1.0})
+        cur = _bench({"a": 0.3, "b": 1.5})
+        assert compare_bench(base, cur) == []
+
+    def test_regression_detected(self):
+        base = _bench({"a": 0.2})
+        cur = _bench({"a": 0.9})
+        problems = compare_bench(base, cur, threshold=3.0)
+        assert len(problems) == 1 and "a:" in problems[0]
+
+    def test_floor_suppresses_noise(self):
+        # 0.1ms -> 3ms is a 30x blowup but under the measurement floor
+        base = _bench({"a": 0.0001})
+        cur = _bench({"a": 0.003})
+        assert compare_bench(base, cur, floor_s=0.05) == []
+
+    def test_missing_experiment_reported(self):
+        problems = compare_bench(_bench({"a": 0.2, "b": 0.2}),
+                                 _bench({"a": 0.2}))
+        assert problems == ["b: missing from current run"]
+
+    def test_cached_timings_skipped(self):
+        base = _bench({"a": 0.2})
+        cur = _bench({"a": 5.0}, cached={"a"})
+        assert compare_bench(base, cur) == []

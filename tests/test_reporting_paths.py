@@ -63,20 +63,39 @@ class TestCliFidelity:
 
     def test_run_all_flag(self, capsys, monkeypatch):
         import repro.cli as cli
+        import repro.perf
+
         ran = []
+
+        def fake_run_experiments(names, **_kw):
+            from repro.perf.runner import RunReport
+            from repro.perf.profile import Profiler
+            ran.extend(names)
+            return RunReport(
+                results={n: _fake_result(True) for n in names},
+                profiler=Profiler(),
+            )
+
         monkeypatch.setattr(
             cli, "list_experiments", lambda: ["table06_sass"])
-        monkeypatch.setattr(
-            cli, "run_experiment",
-            lambda n: (ran.append(n), _fake_result(True))[1])
+        monkeypatch.setattr(repro.perf, "run_experiments",
+                            fake_run_experiments)
         assert main(["run", "--all"]) == 0
         assert ran == ["table06_sass"]
 
     def test_run_reports_failures_via_exit_code(self, capsys,
                                                 monkeypatch):
-        import repro.cli as cli
-        monkeypatch.setattr(cli, "run_experiment",
-                            lambda n: _fake_result(False))
+        import repro.perf
+        from repro.perf.profile import Profiler
+        from repro.perf.runner import RunReport
+
+        monkeypatch.setattr(
+            repro.perf, "run_experiments",
+            lambda names, **_kw: RunReport(
+                results={n: _fake_result(False) for n in names},
+                profiler=Profiler(),
+            ),
+        )
         assert main(["run", "whatever"]) == 1
         assert "FAILED" in capsys.readouterr().err
 
