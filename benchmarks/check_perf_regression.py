@@ -9,6 +9,9 @@ Usage::
 Exits non-zero when any experiment's fresh wall time exceeds
 ``threshold ×`` its baseline (both clamped up to the floor first — see
 :func:`repro.perf.compare_bench`).
+
+Either side may be a ``BENCH_perf_history.jsonl`` archive instead of a
+snapshot — the latest archived entry is used.
 """
 
 from __future__ import annotations
@@ -16,13 +19,26 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.perf import compare_bench, load_bench_json
+from repro.perf import (
+    compare_bench,
+    latest_bench_entry,
+    load_bench_json,
+)
+
+
+def _load(path: str) -> dict:
+    if path.endswith(".jsonl"):
+        return latest_bench_entry(path)
+    return load_bench_json(path)
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="committed BENCH_perf.json")
-    ap.add_argument("current", help="freshly generated BENCH_perf.json")
+    ap.add_argument("baseline",
+                    help="committed BENCH_perf.json (or .jsonl archive)")
+    ap.add_argument("current",
+                    help="freshly generated BENCH_perf.json "
+                         "(or .jsonl archive)")
     ap.add_argument("--threshold", type=float, default=3.0,
                     help="allowed slowdown factor (default: 3.0)")
     ap.add_argument("--floor-ms", type=float, default=50.0,
@@ -30,8 +46,8 @@ def main(argv=None) -> int:
                          "(default: 50ms)")
     args = ap.parse_args(argv)
 
-    baseline = load_bench_json(args.baseline)
-    current = load_bench_json(args.current)
+    baseline = _load(args.baseline)
+    current = _load(args.current)
     problems = compare_bench(baseline, current,
                              threshold=args.threshold,
                              floor_s=args.floor_ms / 1e3)

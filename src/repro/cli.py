@@ -7,13 +7,23 @@ Subcommands::
     hopperdissect run --all            # everything
     hopperdissect run --all --jobs 4   # ... on four processes
     hopperdissect run --all --profile  # ... + timings → BENCH_perf.json
+    hopperdissect run --devices A100   # single-device sweep
+    hopperdissect run --all --seed 7   # reseed the RNG-using workloads
     hopperdissect devices              # Table III
     hopperdissect report -o EXPERIMENTS.md
 
+``--device/--devices`` and ``--seed``/``--fidelity`` build the
+:class:`~repro.core.context.RunContext` the builders run under; the
+default context is the paper's testbed (RTX4090, A100, H800, seed 0,
+fast fidelity).  Under a restrictive device sweep, experiments pinned
+to excluded devices are skipped with a note (``--all``) or fail with a
+clear error (named explicitly).
+
 Results are served from a content-addressed on-disk cache
 (``~/.cache/hopperdissect`` or ``$HOPPERDISSECT_CACHE_DIR``) keyed on
-the source tree and device specs, so a re-run with nothing changed is
-near-instant; ``--no-cache`` forces fresh builds.
+the run context, the context's device specs and each builder's
+transitive ``repro`` imports, so a re-run with nothing relevant
+changed is near-instant; ``--no-cache`` forces fresh builds.
 """
 
 from __future__ import annotations
@@ -24,6 +34,8 @@ from typing import Optional, Sequence
 
 from repro.arch import get_device, list_devices
 from repro.core import (
+    DEFAULT_CONTEXT,
+    RunContext,
     get_experiment,
     list_experiments,
     run_all,
@@ -57,16 +69,54 @@ def _make_cache(args):
     return ResultCache()
 
 
+def _make_context(args) -> RunContext:
+    """The :class:`RunContext` the flags describe (default testbed
+    when nothing was overridden)."""
+    devices = getattr(args, "devices", None)
+    kwargs = {}
+    if devices:
+        kwargs["devices"] = tuple(
+            name for item in devices
+            for name in item.split(",") if name)
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    if getattr(args, "fidelity", None) is not None:
+        kwargs["fidelity"] = args.fidelity
+    if not kwargs:
+        return DEFAULT_CONTEXT
+    try:
+        return RunContext(**kwargs)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"hopperdissect: bad run context: {exc}")
+
+
 def _cmd_run(args) -> int:
-    names = list_experiments() if args.all else args.experiments
+    context = _make_context(args)
+    if args.all:
+        names = []
+        for name in list_experiments():
+            exp = get_experiment(name)
+            if exp.supports(context):
+                names.append(name)
+            else:
+                print(f"note: skipping {name} (pinned to "
+                      f"{', '.join(exp.devices)}; not in context "
+                      f"{','.join(context.devices)})", file=sys.stderr)
+    else:
+        names = args.experiments
     if not names:
         print("nothing to run: name experiments or pass --all",
               file=sys.stderr)
         return 2
-    from repro.perf import run_experiments, write_bench_json
+    from repro.perf import (
+        append_bench_history,
+        run_experiments,
+        write_bench_json,
+    )
 
     report = run_experiments(names, jobs=args.jobs,
-                             cache=_make_cache(args))
+                             cache=_make_cache(args),
+                             context=context)
     failed = 0
     for res in report.results.values():
         print(res.render())
@@ -77,6 +127,10 @@ def _cmd_run(args) -> int:
         bench_path = args.bench_json or "BENCH_perf.json"
         write_bench_json(bench_path, report.profiler)
         print(f"wrote {bench_path}")
+        if args.bench_history:
+            append_bench_history(args.bench_history, report.profiler,
+                                 label=context.token())
+            print(f"appended {args.bench_history}")
     if failed:
         print(f"{failed} finding check(s) FAILED", file=sys.stderr)
         return 1
@@ -90,7 +144,8 @@ def _cmd_fidelity(_args) -> int:
 
 
 def _cmd_report(args) -> int:
-    results = run_all(jobs=args.jobs, cache=_make_cache(args))
+    results = run_all(jobs=args.jobs, cache=_make_cache(args),
+                      context=_make_context(args))
     md = experiments_markdown(results)
     if args.output:
         with open(args.output, "w") as fh:
@@ -123,18 +178,36 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="ignore the on-disk result cache")
 
+    def add_context_flags(sp) -> None:
+        sp.add_argument("--device", "--devices", dest="devices",
+                        action="append", default=None,
+                        metavar="NAME[,NAME]",
+                        help="device sweep for the run context; "
+                             "repeat or comma-separate for several "
+                             "(default: RTX4090,A100,H800)")
+        sp.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="RNG seed for seeded workloads "
+                             "(default: 0)")
+        sp.add_argument("--fidelity", choices=("fast", "full"),
+                        default=None,
+                        help="probe budget tier (default: fast)")
+
     run_p = sub.add_parser("run", help="run experiments")
     run_p.add_argument("experiments", nargs="*",
                        help="experiment names (see `list`)")
     run_p.add_argument("--all", action="store_true",
-                       help="run every experiment")
+                       help="run every experiment the context supports")
     add_perf_flags(run_p)
+    add_context_flags(run_p)
     run_p.add_argument("--profile", action="store_true",
                        help="print per-experiment timings and write "
                             "the BENCH_perf.json trajectory")
     run_p.add_argument("--bench-json", default=None, metavar="PATH",
                        help="where --profile writes timings "
                             "(default: BENCH_perf.json)")
+    run_p.add_argument("--bench-history", default=None, metavar="PATH",
+                       help="also append a timestamped --profile "
+                            "snapshot to this .jsonl archive")
     run_p.set_defaults(fn=_cmd_run)
 
     sub.add_parser(
@@ -147,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("-o", "--output", default=None,
                        help="output path (default: stdout)")
     add_perf_flags(rep_p)
+    add_context_flags(rep_p)
     rep_p.set_defaults(fn=_cmd_report)
     return p
 

@@ -19,6 +19,12 @@ from __future__ import annotations
 
 from repro.core.tables import Table
 from repro.core.checks import Check, approx, ordered, ratio_between
+from repro.core.context import (
+    DEFAULT_CONTEXT,
+    DeviceNotInContext,
+    FIDELITY_TIERS,
+    RunContext,
+)
 from repro.core.registry import (
     Experiment,
     ExperimentResult,
@@ -27,6 +33,7 @@ from repro.core.registry import (
     register,
     run_experiment,
     run_all,
+    supported_experiments,
 )
 
 # importing the experiment modules populates the registry
@@ -42,6 +49,10 @@ __all__ = [
     "approx",
     "ordered",
     "ratio_between",
+    "RunContext",
+    "DEFAULT_CONTEXT",
+    "DeviceNotInContext",
+    "FIDELITY_TIERS",
     "Experiment",
     "ExperimentResult",
     "register",
@@ -49,4 +60,5 @@ __all__ = [
     "list_experiments",
     "run_experiment",
     "run_all",
+    "supported_experiments",
 ]

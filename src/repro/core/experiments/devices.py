@@ -5,8 +5,8 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.arch import get_device
-from repro.arch.registry import PAPER_DEVICES
 from repro.core.checks import Check
+from repro.core.context import RunContext
 from repro.core.registry import register
 from repro.core.tables import Table
 
@@ -16,8 +16,9 @@ from repro.core.tables import Table
     "Table III",
     "Properties of the Ampere, Ada Lovelace and Hopper devices",
 )
-def table03() -> Tuple[Table, List[Check]]:
-    devices = [get_device(n) for n in ("A100", "RTX4090", "H800")]
+def table03(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    names = ctx.device_order("A100", "RTX4090", "H800")
+    devices = [get_device(n) for n in names]
     rows = [d.table3_row() for d in devices]
     keys = list(rows[0].keys())
     table = Table(
@@ -27,26 +28,38 @@ def table03() -> Tuple[Table, List[Check]]:
     for k in keys[1:]:
         table.add_row(k, *(r[k] for r in rows))
 
-    a100, rtx, h800 = devices
-    checks = [
-        Check("only Hopper has DPX hardware",
-              h800.architecture.has_dpx_hardware
-              and not a100.architecture.has_dpx_hardware
-              and not rtx.architecture.has_dpx_hardware),
-        Check("only Hopper has distributed shared memory",
-              h800.architecture.has_distributed_shared_memory
-              and not a100.architecture.has_distributed_shared_memory
-              and not rtx.architecture.has_distributed_shared_memory),
-        Check("H800 has the highest memory bandwidth",
-              h800.dram.peak_bandwidth_gbps
-              > max(a100.dram.peak_bandwidth_gbps,
-                    rtx.dram.peak_bandwidth_gbps)),
-        Check("Ada and Hopper carry 4th-gen tensor cores, Ampere 3rd",
-              rtx.tensor_core.generation == 4
-              and h800.tensor_core.generation == 4
-              and a100.tensor_core.generation == 3),
-        Check("compute capabilities are 8.0 / 8.9 / 9.0",
-              (a100.compute_capability, rtx.compute_capability,
-               h800.compute_capability) == ("8.0", "8.9", "9.0")),
-    ]
+    by_name = dict(zip(names, devices))
+    checks: List[Check] = []
+    if ctx.has("A100", "RTX4090", "H800"):
+        a100 = by_name["A100"]
+        rtx = by_name["RTX4090"]
+        h800 = by_name["H800"]
+        checks += [
+            Check("only Hopper has DPX hardware",
+                  h800.architecture.has_dpx_hardware
+                  and not a100.architecture.has_dpx_hardware
+                  and not rtx.architecture.has_dpx_hardware),
+            Check("only Hopper has distributed shared memory",
+                  h800.architecture.has_distributed_shared_memory
+                  and not a100.architecture.has_distributed_shared_memory
+                  and not rtx.architecture.has_distributed_shared_memory),
+            Check("H800 has the highest memory bandwidth",
+                  h800.dram.peak_bandwidth_gbps
+                  > max(a100.dram.peak_bandwidth_gbps,
+                        rtx.dram.peak_bandwidth_gbps)),
+            Check("Ada and Hopper carry 4th-gen tensor cores, Ampere 3rd",
+                  rtx.tensor_core.generation == 4
+                  and h800.tensor_core.generation == 4
+                  and a100.tensor_core.generation == 3),
+            Check("compute capabilities are 8.0 / 8.9 / 9.0",
+                  (a100.compute_capability, rtx.compute_capability,
+                   h800.compute_capability) == ("8.0", "8.9", "9.0")),
+        ]
+    else:
+        # single-device / partial sweeps: per-device sanity only
+        for d in devices:
+            checks.append(Check(
+                f"{d.name}: spec row is complete",
+                all(v not in (None, "") for v in d.table3_row().values()),
+            ))
     return table, checks

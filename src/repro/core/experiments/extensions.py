@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.arch import get_device
 from repro.core.checks import Check, approx
+from repro.core.context import RunContext
 from repro.core.registry import register
 from repro.core.tables import Table
 
@@ -23,11 +24,13 @@ from repro.core.tables import Table
     "ext_tma_vs_cpasync",
     "§III-D2 (extension)",
     "TMA bulk copies vs cp.async: issue-slot savings by tile size",
+    devices=("H800",),
 )
-def ext_tma() -> Tuple[Table, List[Check]]:
+def ext_tma(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.asynccopy import TmaModel
     from repro.isa.memory_ops import TmaCopy
-    m = TmaModel(get_device("H800"))
+    h800 = get_device(ctx.pin("H800"))
+    m = TmaModel(h800)
     table = Table(
         "TMA vs cp.async on H800",
         ["tile KiB", "TMA cycles", "one-shot B/clk",
@@ -50,7 +53,7 @@ def ext_tma() -> Tuple[Table, List[Check]]:
               rows[64][1] == 64 * rows[1][1]),
         Check("pipelined large tiles approach the streaming width",
               rows[64][0].sustained_bytes_per_clk
-              > 0.9 * get_device("H800").mem_widths.l1_bytes_per_clk_sm),
+              > 0.9 * h800.mem_widths.l1_bytes_per_clk_sm),
         Check("small one-shot tiles are overhead-dominated",
               rows[1][0].bytes_per_clk
               < 0.6 * rows[64][0].bytes_per_clk),
@@ -62,15 +65,18 @@ def ext_tma() -> Tuple[Table, List[Check]]:
     "ext_cache_detection",
     "§III-A (extension)",
     "P-chase sweeps recover the cache geometry (methodology check)",
+    # the capacity probe walks power-of-two arrays, so it can only
+    # recover pow2 L1 sizes — A100's 192 KiB is out of reach
+    devices=("RTX4090", "H800"),
 )
-def ext_cache_detection() -> Tuple[Table, List[Check]]:
+def ext_cache_detection(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.memory import CacheProbe
     table = Table(
         "Detected vs configured cache parameters",
         ["Device", "parameter", "detected", "configured"],
     )
     checks = []
-    for dev_name in ("RTX4090", "H800"):
+    for dev_name in ctx.select("RTX4090", "H800"):
         dev = get_device(dev_name)
         probe = CacheProbe(dev)
         params = probe.detect()
@@ -97,10 +103,12 @@ def ext_cache_detection() -> Tuple[Table, List[Check]]:
     "§III-D1 (extension)",
     "DPX at application level: alignment + Floyd-Warshall speedups",
 )
-def ext_dpx_apps() -> Tuple[Table, List[Check]]:
+def ext_dpx_apps(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.dp import FloydWarshall, SmithWaterman, \
         estimate_kernel_time
-    rng = np.random.default_rng(0)
+    devices = ctx.device_order("A100", "RTX4090", "H800")
+    with_speedup = ctx.has("H800", "A100")
+    rng = np.random.default_rng(ctx.seed)
     bases = np.array(list("ACGT"))
     a = "".join(rng.choice(bases, 64))
     b = "".join(rng.choice(bases, 64))
@@ -114,8 +122,8 @@ def ext_dpx_apps() -> Tuple[Table, List[Check]]:
 
     table = Table(
         "DP kernels on DPX: estimated time (us)",
-        ["kernel", "DPX calls", "A100", "RTX4090", "H800",
-         "H800 vs A100"],
+        ["kernel", "DPX calls", *devices]
+        + (["H800 vs A100"] if with_speedup else []),
     )
     speedups = {}
     for name, calls, fn in (
@@ -124,21 +132,25 @@ def ext_dpx_apps() -> Tuple[Table, List[Check]]:
     ):
         times = {d: estimate_kernel_time(get_device(d), calls,
                                          function_name=fn).seconds
-                 for d in ("A100", "RTX4090", "H800")}
-        s = times["A100"] / times["H800"]
-        speedups[name] = s
+                 for d in devices}
+        extra = []
+        if with_speedup:
+            s = times["A100"] / times["H800"]
+            speedups[name] = s
+            extra = [f"{s:.1f}x"]
         table.add_row(name, calls,
-                      *(round(times[d] * 1e6, 4)
-                        for d in ("A100", "RTX4090", "H800")),
-                      f"{s:.1f}x")
-    checks = [
-        Check("H800 leads on the relu-fused alignment kernel",
-              speedups["Smith-Waterman 64x64"] > 2.5),
-        Check("H800 leads on the add-min relaxation kernel",
-              speedups["Floyd-Warshall n=32"] > 1.5),
-        Check("alignment issues 2 DPX calls per cell",
-              sw.dpx_calls == 2 * sw.cells),
-    ]
+                      *(round(times[d] * 1e6, 4) for d in devices),
+                      *extra)
+    checks = []
+    if with_speedup:
+        checks += [
+            Check("H800 leads on the relu-fused alignment kernel",
+                  speedups["Smith-Waterman 64x64"] > 2.5),
+            Check("H800 leads on the add-min relaxation kernel",
+                  speedups["Floyd-Warshall n=32"] > 1.5),
+        ]
+    checks.append(Check("alignment issues 2 DPX calls per cell",
+                        sw.dpx_calls == 2 * sw.cells))
     return table, checks
 
 
@@ -147,18 +159,18 @@ def ext_dpx_apps() -> Tuple[Table, List[Check]]:
     "§III-C (extension)",
     "What FP8 costs in accuracy through real layers",
 )
-def ext_fp8_accuracy() -> Tuple[Table, List[Check]]:
+def ext_fp8_accuracy(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.te import Precision
     from repro.te.accuracy import layer_accuracy, linear_accuracy
     table = Table(
         "Relative RMS error vs FP64 reference",
         ["module", "precision", "rel RMS", "rel max"],
     )
-    lin = {r.precision: r for r in linear_accuracy(seed=0)}
+    lin = {r.precision: r for r in linear_accuracy(seed=ctx.seed)}
     for p, r in lin.items():
         table.add_row("Linear 256x256", p.name, f"{r.rel_rms:.2e}",
                       f"{r.rel_max:.2e}")
-    layer = layer_accuracy(seed=0)
+    layer = layer_accuracy(seed=ctx.seed)
     table.add_row("TransformerLayer", "FP8",
                   f"{layer[Precision.FP8].rel_rms:.2e}",
                   f"{layer[Precision.FP8].rel_max:.2e}")
@@ -179,11 +191,12 @@ def ext_fp8_accuracy() -> Tuple[Table, List[Check]]:
     "ext_tma_pipeline",
     "§III-D2 (extension)",
     "Predicted TmaPipe variant of the async-copy study (H800)",
+    devices=("H800",),
 )
-def ext_tma_pipeline() -> Tuple[Table, List[Check]]:
+def ext_tma_pipeline(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.asynccopy import AsyncCopyConfig, CopyVariant, \
         TiledMatmulModel
-    m = TiledMatmulModel(get_device("H800"))
+    m = TiledMatmulModel(get_device(ctx.pin("H800")))
     table = Table(
         "globalToShmemAsyncCopy with a TMA pipeline (GFLOP/s, H800)",
         ["block", "variant", "1", "4", "16", "32"],
@@ -222,7 +235,7 @@ def ext_tma_pipeline() -> Tuple[Table, List[Check]]:
     "Table VII (extension)",
     "The complete mma type matrix: BF16, INT4, binary, FP64 included",
 )
-def ext_mma_full() -> Tuple[Table, List[Check]]:
+def ext_mma_full(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.isa.dtypes import DType
     from repro.isa.mma import MmaInstruction, mma_shapes
     from repro.tensorcore import TensorCoreTimingModel
@@ -232,7 +245,7 @@ def ext_mma_full() -> Tuple[Table, List[Check]]:
         (DType.INT4, DType.INT32),
         (DType.BIN1, DType.INT32),
     ]
-    devices = ("A100", "RTX4090", "H800")
+    devices = ctx.device_order("A100", "RTX4090", "H800")
     table = Table(
         "Extended mma matrix: dense throughput (TFLOPS/TOPS)",
         ["A/B", "C/D", "Shape", *devices],
@@ -262,27 +275,36 @@ def ext_mma_full() -> Tuple[Table, List[Check]]:
         ).throughput_tflops()
         for d in devices if d != "RTX4090"  # Ada halves FP32-acc
     }
-    checks = [
-        Check("BF16 matches the FP16 (fp32-acc) rate on A100/H800",
-              all(abs(data[(DType.BF16, d)].throughput_tflops()
-                      / fp16_rates[d] - 1) < 1e-6
-                  for d in ("A100", "H800"))),
-        Check("binary runs at 8× the INT8 rate class (A100)",
-              data[(DType.BIN1, "A100")].throughput_tflops() > 4000),
-        Check("INT4 stays on tensor cores on Ampere/Ada",
-              data[(DType.INT4, "A100")].on_tensor_core
-              and data[(DType.INT4, "RTX4090")].on_tensor_core),
-        Check("INT4 collapses onto CUDA cores on Hopper "
-              "(orders of magnitude slower)",
-              not data[(DType.INT4, "H800")].on_tensor_core
-              and data[(DType.INT4, "H800")].throughput_tflops()
-              < 0.05 * data[(DType.INT4, "A100")].throughput_tflops()),
-        Check("FP64 tensor cores: A100 healthy, H800 fused down, "
-              "Ada absent",
-              (DType.FP64, "RTX4090") not in data
-              and data[(DType.FP64, "A100")].throughput_tflops() > 15
-              and data[(DType.FP64, "H800")].throughput_tflops() < 2),
-    ]
+    checks: List[Check] = []
+    if ctx.has("A100", "H800"):
+        checks.append(Check(
+            "BF16 matches the FP16 (fp32-acc) rate on A100/H800",
+            all(abs(data[(DType.BF16, d)].throughput_tflops()
+                    / fp16_rates[d] - 1) < 1e-6
+                for d in ("A100", "H800"))))
+    if ctx.has("A100"):
+        checks.append(Check(
+            "binary runs at 8× the INT8 rate class (A100)",
+            data[(DType.BIN1, "A100")].throughput_tflops() > 4000))
+    if ctx.has("A100", "RTX4090"):
+        checks.append(Check(
+            "INT4 stays on tensor cores on Ampere/Ada",
+            data[(DType.INT4, "A100")].on_tensor_core
+            and data[(DType.INT4, "RTX4090")].on_tensor_core))
+    if ctx.has("H800", "A100"):
+        checks.append(Check(
+            "INT4 collapses onto CUDA cores on Hopper "
+            "(orders of magnitude slower)",
+            not data[(DType.INT4, "H800")].on_tensor_core
+            and data[(DType.INT4, "H800")].throughput_tflops()
+            < 0.05 * data[(DType.INT4, "A100")].throughput_tflops()))
+    if ctx.has("A100", "RTX4090", "H800"):
+        checks.append(Check(
+            "FP64 tensor cores: A100 healthy, H800 fused down, "
+            "Ada absent",
+            (DType.FP64, "RTX4090") not in data
+            and data[(DType.FP64, "A100")].throughput_tflops() > 15
+            and data[(DType.FP64, "H800")].throughput_tflops() < 2))
     return table, checks
 
 
@@ -291,7 +313,7 @@ def ext_mma_full() -> Tuple[Table, List[Check]]:
     "§III-A (extension)",
     "Warp coalescing: efficiency vs stride and alignment",
 )
-def ext_coalescing() -> Tuple[Table, List[Check]]:
+def ext_coalescing(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.memory.coalescing import efficiency_vs_stride, \
         strided_access
     strides = [4, 8, 16, 32, 64, 128]
@@ -318,13 +340,14 @@ def ext_coalescing() -> Tuple[Table, List[Check]]:
     "ext_trace_simulator",
     "§II (extension)",
     "Trace-driven SM simulator validated against the pipe models",
+    devices=("H800",),
 )
-def ext_trace_sim() -> Tuple[Table, List[Check]]:
+def ext_trace_sim(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.isa import MatrixShape, MmaInstruction
     from repro.isa.dtypes import DType
     from repro.tensorcore.timing import MmaTiming
     from repro.trace import SmSimulator, TraceBuilder
-    h800 = get_device("H800")
+    h800 = get_device(ctx.pin("H800"))
     instr = MmaInstruction(DType.FP16, DType.FP32,
                            MatrixShape(16, 8, 16))
     timing = MmaTiming(h800, instr)
@@ -360,10 +383,11 @@ def ext_trace_sim() -> Tuple[Table, List[Check]]:
     "ext_llm_batch_sweep",
     "§III-C3 (extension)",
     "LLM throughput vs batch size: when does FP8 start paying?",
+    devices=("H800",),
 )
-def ext_llm_batch() -> Tuple[Table, List[Check]]:
+def ext_llm_batch(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.te import LLAMA_MODELS, LlmInferenceModel, Precision
-    m = LlmInferenceModel(get_device("H800"))
+    m = LlmInferenceModel(get_device(ctx.pin("H800")))
     spec = LLAMA_MODELS["llama-2-7B"]
     batches = (1, 2, 4, 8, 16, 32, 64)
     table = Table(
@@ -401,10 +425,11 @@ def ext_llm_batch() -> Tuple[Table, List[Check]]:
     "ext_attention_scaling",
     "§III-C2 (extension)",
     "Flash-attention cost scaling: quadratic compute vs linear IO",
+    devices=("H800",),
 )
-def ext_attention() -> Tuple[Table, List[Check]]:
+def ext_attention(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.te import CostModel, DotProductAttention, Precision
-    cm = CostModel(get_device("H800"))
+    cm = CostModel(get_device(ctx.pin("H800")))
     att = DotProductAttention(num_heads=32, head_dim=128)
     seqs = (512, 1024, 2048, 4096, 8192)
     table = Table(
@@ -434,9 +459,9 @@ def ext_attention() -> Tuple[Table, List[Check]]:
     "§I/§II (extension)",
     "Roofline summary: where the paper's workloads sit per device",
 )
-def ext_roofline() -> Tuple[Table, List[Check]]:
+def ext_roofline(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.sm import BlockConfig, KernelSpec, Roofline
-    devices = ("A100", "RTX4090", "H800")
+    devices = ctx.device_order("A100", "RTX4090", "H800")
     workloads = {
         "LLM decode (7B bf16, b=8)": KernelSpec(
             name="decode", block=BlockConfig(threads=256),
@@ -476,10 +501,12 @@ def ext_roofline() -> Tuple[Table, List[Check]]:
               "(the Table VIII story)",
               all(bounds[("GEMM 8192^3 fp16", d)] == "compute"
                   for d in devices)),
-        Check("H800 has the highest FP16 ridge point "
-              "(most bandwidth-hungry balance)",
-              ridge["H800"] > max(ridge["A100"], ridge["RTX4090"])),
     ]
+    if ctx.has("A100", "RTX4090", "H800"):
+        checks.append(Check(
+            "H800 has the highest FP16 ridge point "
+            "(most bandwidth-hungry balance)",
+            ridge["H800"] > max(ridge["A100"], ridge["RTX4090"])))
     return table, checks
 
 
@@ -488,7 +515,7 @@ def ext_roofline() -> Tuple[Table, List[Check]]:
     "Fasi et al. (extension)",
     "Tensor-core numeric behaviour probes",
 )
-def ext_numeric_probes() -> Tuple[Table, List[Check]]:
+def ext_numeric_probes(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.tensorcore.numerics_study import run_all_probes
     table = Table("Numeric behaviour of the modelled tensor cores",
                   ["probe", "behaviour", "detail"])

@@ -7,6 +7,7 @@ from typing import List, Tuple
 from repro.arch import get_device
 from repro.asynccopy import benchmark_table
 from repro.core.checks import Check, approx, ordered
+from repro.core.context import RunContext
 from repro.core.registry import register
 from repro.core.tables import Table
 from repro.dpx import DPX_FUNCTIONS, DpxTimingModel, block_sweep, \
@@ -34,8 +35,8 @@ _DPX_SAMPLE = (
     "Fig. 6",
     "DPX intrinsic latency: hardware (H800) vs emulation (A100, 4090)",
 )
-def fig06() -> Tuple[Table, List[Check]]:
-    devices = ("RTX4090", "A100", "H800")
+def fig06(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order("RTX4090", "A100", "H800")
     models = {d: DpxTimingModel(get_device(d)) for d in devices}
     table = Table("Fig 6: DPX latency (cycles)",
                   ["Function", *devices])
@@ -46,28 +47,30 @@ def fig06() -> Tuple[Table, List[Check]]:
         lat[name] = dict(zip(devices, row))
         table.add_row(name, *row)
 
-    checks = [
-        Check(
+    checks: List[Check] = []
+    if ctx.has("RTX4090", "A100"):
+        checks.append(Check(
             "software-emulated devices (RTX4090, A100) have identical "
             "cycle latency (paper §IV-E)",
             all(lat[n]["RTX4090"] == lat[n]["A100"]
                 for n in _DPX_SAMPLE),
-        ),
-        Check(
+        ))
+    if ctx.has("H800", "A100"):
+        checks.append(Check(
             "H800 latency ≤ emulation for every function",
-            all(lat[n]["H800"] <= lat[n]["A100"] for n in _DPX_SAMPLE),
-        ),
-        Check(
+            all(lat[n]["H800"] <= lat[n]["A100"]
+                for n in _DPX_SAMPLE),
+        ))
+        checks.append(Check(
             "2-input __vimax_s32 shows no H800 latency edge "
             "(VIMNMX ≈ IMNMX, paper §IV-E)",
             lat["__vimax_s32"]["H800"] == lat["__vimax_s32"]["A100"],
-        ),
-        Check(
+        ))
+        checks.append(Check(
             "relu-fused and 16x2 functions gain the most",
             lat["__viaddmax_s16x2_relu"]["A100"]
             / lat["__viaddmax_s16x2_relu"]["H800"] > 4.0,
-        ),
-    ]
+        ))
     return table, checks
 
 
@@ -76,54 +79,63 @@ def fig06() -> Tuple[Table, List[Check]]:
     "Fig. 7",
     "DPX throughput per device + the SM-multiple block sawtooth",
 )
-def fig07() -> Tuple[Table, List[Check]]:
-    devices = ("RTX4090", "A100", "H800")
+def fig07(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order("RTX4090", "A100", "H800")
     models = {d: DpxTimingModel(get_device(d)) for d in devices}
+    with_speedup = ctx.has("H800", "A100")
     table = Table(
         "Fig 7: DPX throughput (G results/s, device-wide)",
-        ["Function", *devices, "H800 speedup vs A100"],
+        ["Function", *devices]
+        + (["H800 speedup vs A100"] if with_speedup else []),
     )
     speedups = {}
     for name in _DPX_SAMPLE:
         fn = get_dpx_function(name)
         row = [models[d].throughput_gops(fn) for d in devices]
-        s = models["H800"].speedup_vs(fn, models["A100"])
-        speedups[name] = s
-        table.add_row(name, *(round(v, 1) for v in row), round(s, 2))
+        extra = []
+        if with_speedup:
+            s = models["H800"].speedup_vs(fn, models["A100"])
+            speedups[name] = s
+            extra = [round(s, 2)]
+        table.add_row(name, *(round(v, 1) for v in row), *extra)
 
-    h800 = get_device("H800")
-    sweep = block_sweep(h800, get_dpx_function("__vimax3_s32"), 2)
-    by_blocks = {p["blocks"]: p["gops"] for p in sweep}
-    sms = h800.num_sms
-    checks = [
-        Check(
+    checks: List[Check] = []
+    if with_speedup:
+        checks.append(Check(
             "simple 32-bit ops are close across devices (≤2.6× span, "
             "paper §IV-E)",
             speedups["__vimax_s32"] < 1.5
             and speedups["__viaddmax_s32"] < 2.6,
-        ),
-        Check(
+        ))
+        checks.append(Check(
             "16-bit relu functions accelerate up to ~13× on H800 "
             "(paper §IV-E)",
             10.0 < speedups["__viaddmax_s16x2_relu"] < 18.0,
             detail=f"{speedups['__viaddmax_s16x2_relu']:.1f}×",
-        ),
-        Check(
-            "throughput ∝ blocks below the SM count",
-            approx("", by_blocks[sms // 2] / by_blocks[1], sms // 2,
-                   rel_tol=0.02).passed,
-        ),
-        Check(
-            "throughput plummets just past the SM count "
-            "(DPX unit is per-SM, paper §IV-E)",
-            by_blocks[sms + 1] < 0.6 * by_blocks[sms],
-        ),
-        Check(
-            "maximum throughput at integer multiples of the SM count",
-            by_blocks[2 * sms] >= by_blocks[2 * sms - 1]
-            and by_blocks[2 * sms] >= by_blocks[2 * sms + 1],
-        ),
-    ]
+        ))
+    if ctx.has("H800"):
+        h800 = get_device("H800")
+        sweep = block_sweep(h800, get_dpx_function("__vimax3_s32"), 2)
+        by_blocks = {p["blocks"]: p["gops"] for p in sweep}
+        sms = h800.num_sms
+        checks += [
+            Check(
+                "throughput ∝ blocks below the SM count",
+                approx("", by_blocks[sms // 2] / by_blocks[1],
+                       sms // 2, rel_tol=0.02).passed,
+            ),
+            Check(
+                "throughput plummets just past the SM count "
+                "(DPX unit is per-SM, paper §IV-E)",
+                by_blocks[sms + 1] < 0.6 * by_blocks[sms],
+            ),
+            Check(
+                "maximum throughput at integer multiples of the SM "
+                "count",
+                by_blocks[2 * sms] >= by_blocks[2 * sms - 1]
+                and by_blocks[2 * sms] >= by_blocks[2 * sms + 1],
+            ),
+        ]
     return table, checks
 
 
@@ -149,9 +161,10 @@ def _async_table(dev_name: str):
     "table13_async_h800",
     "Table XIII",
     "Async vs sync tile copies in tiled matmul, H800",
+    devices=("H800",),
 )
-def table13() -> Tuple[Table, List[Check]]:
-    table, rows, gains = _async_table("H800")
+def table13(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    table, rows, gains = _async_table(ctx.pin("H800"))
     checks = [
         approx("8×8: async gains ≈ 39.5% on average (paper)",
                100 * gains["8x8"], 39.5, rel_tol=0.40),
@@ -172,9 +185,10 @@ def table13() -> Tuple[Table, List[Check]]:
     "table14_async_a100",
     "Table XIV",
     "Async vs sync tile copies in tiled matmul, A100",
+    devices=("A100",),
 )
-def table14() -> Tuple[Table, List[Check]]:
-    table, rows, gains = _async_table("A100")
+def table14(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    table, rows, gains = _async_table(ctx.pin("A100"))
     checks = [
         Check("8×8: async helps (paper: +19.6% average)",
               gains["8x8"] > 0.08),
@@ -191,9 +205,10 @@ def table14() -> Tuple[Table, List[Check]]:
     "fig08_dsm_rbc",
     "Fig. 8",
     "SM-to-SM ring-based copy throughput on H800",
+    devices=("H800",),
 )
-def fig08() -> Tuple[Table, List[Check]]:
-    h800 = get_device("H800")
+def fig08(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    h800 = get_device(ctx.pin("H800"))
     rbc = RingCopyBenchmark(h800)
     net = SmToSmNetwork(h800)
     table = Table(
@@ -233,9 +248,10 @@ def fig08() -> Tuple[Table, List[Check]]:
     "fig09_dsm_histogram",
     "Fig. 9",
     "DSM histogram throughput: occupancy vs SM-to-SM traffic",
+    devices=("H800",),
 )
-def fig09() -> Tuple[Table, List[Check]]:
-    h800 = get_device("H800")
+def fig09(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    h800 = get_device(ctx.pin("H800"))
     hist = DsmHistogram(h800)
     nbins = (256, 512, 1024, 2048, 4096)
     table = Table(

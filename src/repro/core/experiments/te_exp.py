@@ -6,6 +6,7 @@ from typing import List, Tuple
 
 from repro.arch import get_device
 from repro.core.checks import Check, ratio_between
+from repro.core.context import RunContext
 from repro.core.registry import register
 from repro.core.tables import Table
 from repro.te import (
@@ -23,9 +24,10 @@ _NS = (1024, 2048, 4096, 8192, 16384)
     "fig03_te_breakdown",
     "Fig. 3",
     "Operator time shares of an FP8 te.Linear matmul",
+    devices=("H800",),
 )
-def fig03() -> Tuple[Table, List[Check]]:
-    cm = CostModel(get_device("H800"))
+def fig03(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    cm = CostModel(get_device(ctx.pin("H800")))
     table = Table(
         "Fig 3: FP8 te.Linear operator time shares (H800)",
         ["N", "quantize_input %", "gemm %", "scale_out %"],
@@ -64,8 +66,8 @@ def fig03() -> Tuple[Table, List[Check]]:
     "Fig. 4",
     "te.Linear throughput (TFLOPS) vs matrix size, dtype and device",
 )
-def fig04() -> Tuple[Table, List[Check]]:
-    devices = ("H800", "RTX4090", "A100")
+def fig04(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order("H800", "RTX4090", "A100")
     table = Table(
         "Fig 4: te.Linear N×N×N throughput (TFLOPS)",
         ["Device", "dtype"] + [str(n) for n in _NS],
@@ -82,7 +84,7 @@ def fig04() -> Tuple[Table, List[Check]]:
             table.add_row(d, prec.name, *(round(v, 1) for v in row))
 
     checks: List[Check] = []
-    for d in ("H800", "RTX4090"):
+    for d in ctx.select("H800", "RTX4090"):
         checks.append(Check(
             f"{d}: FP8 slower than FP16 at N=1024 (conversion overhead)",
             data[(d, Precision.FP8)][1024]
@@ -98,10 +100,11 @@ def fig04() -> Tuple[Table, List[Check]]:
         all(vals[a] <= vals[b] * 1.001
             for vals in data.values() for a, b in zip(_NS, _NS[1:])),
     ))
-    checks.append(Check(
-        "A100 offers no FP8 path",
-        (("A100", Precision.FP8) not in data),
-    ))
+    if ctx.has("A100"):
+        checks.append(Check(
+            "A100 offers no FP8 path",
+            (("A100", Precision.FP8) not in data),
+        ))
     return table, checks
 
 
@@ -110,8 +113,8 @@ def fig04() -> Tuple[Table, List[Check]]:
     "Fig. 5",
     "te.TransformerLayer single-layer latency vs hidden size",
 )
-def fig05() -> Tuple[Table, List[Check]]:
-    devices = ("H800", "RTX4090", "A100")
+def fig05(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order("H800", "RTX4090", "A100")
     hiddens = sorted(TransformerLayerConfig.PAPER_CONFIGS)
     table = Table(
         "Fig 5: te.TransformerLayer latency (ms), batch 4 × seq 512",
@@ -133,30 +136,33 @@ def fig05() -> Tuple[Table, List[Check]]:
             table.add_row(d, prec.name, *(round(v, 3) for v in row))
 
     checks: List[Check] = []
-    checks.append(ratio_between(
-        "H800: FP16 ≈ 2× faster than FP32 at hidden 8192 (paper Fig 5)",
-        data[("H800", Precision.FP32)][8192],
-        data[("H800", Precision.FP16)][8192], 1.6, 2.2,
-    ))
-    checks.append(Check(
-        "H800: FP8 beats FP16 for hidden > 4096",
-        all(data[("H800", Precision.FP8)][h]
-            < data[("H800", Precision.FP16)][h]
-            for h in (5120, 8192)),
-    ))
-    checks.append(Check(
-        "FP8 gain stays below 2× (unquantised operators remain, "
-        "paper §IV-D)",
-        data[("H800", Precision.FP16)][8192]
-        / data[("H800", Precision.FP8)][8192] < 2.0,
-    ))
-    checks.append(Check(
-        "H800 is the fastest device at hidden 8192 FP16 "
-        "(computational density favours Hopper)",
-        data[("H800", Precision.FP16)][8192]
-        < min(data[("RTX4090", Precision.FP16)][8192],
-              data[("A100", Precision.FP16)][8192]),
-    ))
+    if ctx.has("H800"):
+        checks.append(ratio_between(
+            "H800: FP16 ≈ 2× faster than FP32 at hidden 8192 "
+            "(paper Fig 5)",
+            data[("H800", Precision.FP32)][8192],
+            data[("H800", Precision.FP16)][8192], 1.6, 2.2,
+        ))
+        checks.append(Check(
+            "H800: FP8 beats FP16 for hidden > 4096",
+            all(data[("H800", Precision.FP8)][h]
+                < data[("H800", Precision.FP16)][h]
+                for h in (5120, 8192)),
+        ))
+        checks.append(Check(
+            "FP8 gain stays below 2× (unquantised operators remain, "
+            "paper §IV-D)",
+            data[("H800", Precision.FP16)][8192]
+            / data[("H800", Precision.FP8)][8192] < 2.0,
+        ))
+    if ctx.has("H800", "RTX4090", "A100"):
+        checks.append(Check(
+            "H800 is the fastest device at hidden 8192 FP16 "
+            "(computational density favours Hopper)",
+            data[("H800", Precision.FP16)][8192]
+            < min(data[("RTX4090", Precision.FP16)][8192],
+                  data[("A100", Precision.FP16)][8192]),
+        ))
     return table, checks
 
 
@@ -165,14 +171,15 @@ def fig05() -> Tuple[Table, List[Check]]:
     "Table XII",
     "Decode-only LLM generation throughput (tokens/s)",
 )
-def table12() -> Tuple[Table, List[Check]]:
+def table12(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order("RTX4090", "A100", "H800")
     table = Table(
         "Table XII: inference throughput (tokens/s), batch 8, "
         "in/out ≤ 128",
         ["GPU", "Model", "FP32", "BF16", "FP8"],
     )
     cells = {}
-    for d in ("RTX4090", "A100", "H800"):
+    for d in devices:
         m = LlmInferenceModel(get_device(d))
         models = (("llama-3B", "llama-2-7B")
                   if d == "RTX4090"
@@ -181,37 +188,44 @@ def table12() -> Tuple[Table, List[Check]]:
             table.add_dict_row(row)
             cells[(d, row["Model"])] = row
 
-    checks = [
-        Check("RTX4090 (24 GB): llama-2-7B FP32 and FP8 OOM, BF16 fits",
-              cells[("RTX4090", "llama-2-7B")]["FP32"] == "OOM"
-              and cells[("RTX4090", "llama-2-7B")]["FP8"] == "OOM"
-              and cells[("RTX4090", "llama-2-7B")]["BF16"] != "OOM"),
-        Check("A100 (40 GB): llama-2-13B FP32 OOM, BF16 fits",
-              cells[("A100", "llama-2-13B")]["FP32"] == "OOM"
-              and cells[("A100", "llama-2-13B")]["BF16"] != "OOM"),
-        Check("A100 has no FP8 column",
-              all(cells[("A100", m)]["FP8"] == "-"
-                  for m in ("llama-3B", "llama-2-7B", "llama-2-13B"))),
-        Check("H800 (80 GB) runs every model at every precision",
-              all(cells[("H800", m)][p] not in ("OOM", "-")
-                  for m in ("llama-3B", "llama-2-7B", "llama-2-13B")
-                  for p in ("FP32", "BF16", "FP8"))),
-    ]
-    # the headline finding: FP8 gives no significant decode advantage
-    for m in ("llama-3B", "llama-2-7B"):
-        row = cells[("H800", m)]
-        fp8 = float(row["FP8"])
-        bf16 = float(row["BF16"])
+    checks: List[Check] = []
+    if ctx.has("RTX4090"):
         checks.append(Check(
-            f"H800 {m}: FP8 decode ≤ ~BF16 (memory-bound, paper "
-            "§IV-D)",
-            fp8 <= bf16 * 1.1,
-            detail=f"FP8 {fp8:.0f} vs BF16 {bf16:.0f}",
+            "RTX4090 (24 GB): llama-2-7B FP32 and FP8 OOM, BF16 fits",
+            cells[("RTX4090", "llama-2-7B")]["FP32"] == "OOM"
+            and cells[("RTX4090", "llama-2-7B")]["FP8"] == "OOM"
+            and cells[("RTX4090", "llama-2-7B")]["BF16"] != "OOM"))
+    if ctx.has("A100"):
+        checks.append(Check(
+            "A100 (40 GB): llama-2-13B FP32 OOM, BF16 fits",
+            cells[("A100", "llama-2-13B")]["FP32"] == "OOM"
+            and cells[("A100", "llama-2-13B")]["BF16"] != "OOM"))
+        checks.append(Check(
+            "A100 has no FP8 column",
+            all(cells[("A100", m)]["FP8"] == "-"
+                for m in ("llama-3B", "llama-2-7B", "llama-2-13B"))))
+    if ctx.has("H800"):
+        checks.append(Check(
+            "H800 (80 GB) runs every model at every precision",
+            all(cells[("H800", m)][p] not in ("OOM", "-")
+                for m in ("llama-3B", "llama-2-7B", "llama-2-13B")
+                for p in ("FP32", "BF16", "FP8"))))
+        # the headline finding: FP8 gives no significant decode
+        # advantage
+        for m in ("llama-3B", "llama-2-7B"):
+            row = cells[("H800", m)]
+            fp8 = float(row["FP8"])
+            bf16 = float(row["BF16"])
+            checks.append(Check(
+                f"H800 {m}: FP8 decode ≤ ~BF16 (memory-bound, paper "
+                "§IV-D)",
+                fp8 <= bf16 * 1.1,
+                detail=f"FP8 {fp8:.0f} vs BF16 {bf16:.0f}",
+            ))
+        checks.append(Check(
+            "throughput decreases with model size (H800 BF16)",
+            float(cells[("H800", "llama-3B")]["BF16"])
+            > float(cells[("H800", "llama-2-7B")]["BF16"])
+            > float(cells[("H800", "llama-2-13B")]["BF16"]),
         ))
-    checks.append(Check(
-        "throughput decreases with model size (H800 BF16)",
-        float(cells[("H800", "llama-3B")]["BF16"])
-        > float(cells[("H800", "llama-2-7B")]["BF16"])
-        > float(cells[("H800", "llama-2-13B")]["BF16"]),
-    ))
     return table, checks

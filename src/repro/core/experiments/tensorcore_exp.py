@@ -6,6 +6,7 @@ from typing import List, Tuple
 
 from repro.arch import Architecture, get_device
 from repro.core.checks import Check, approx, ordered, ratio_between
+from repro.core.context import RunContext
 from repro.core.registry import register
 from repro.core.tables import Table
 from repro.isa.dtypes import DType
@@ -19,7 +20,8 @@ from repro.isa.mma import (
 from repro.power import PowerModel
 from repro.tensorcore import TensorCoreTimingModel
 
-_DEVICES = ("A100", "RTX4090", "H800")
+#: the paper's column order for Table VII
+_PAPER_ORDER = ("A100", "RTX4090", "H800")
 
 #: the Table VII grid: (A/B, C/D, shapes)
 _MMA_GRID = [
@@ -45,7 +47,7 @@ _WGMMA_PAIRS = [
     "Table VI",
     "SASS lowering of Hopper tensor-core PTX instructions",
 )
-def table06() -> Tuple[Table, List[Check]]:
+def table06(ctx: RunContext) -> Tuple[Table, List[Check]]:
     rows = sass_table(Architecture.HOPPER)
     table = Table("Table VI: Hopper SASS for tensor-core PTX",
                   ["A/B", "C/D", "mma", "wgmma"])
@@ -81,18 +83,19 @@ def _mma_instr(ab, cd, shape, sparse):
     "Table VII",
     "Dense/sparse mma latency and throughput on A100, RTX4090, H800",
 )
-def table07() -> Tuple[Table, List[Check]]:
+def table07(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order(*_PAPER_ORDER)
     table = Table(
         "Table VII: mma latency (clk) / throughput (TFLOPS or TOPS)",
         ["A/B", "C/D", "Shape"] + [
-            f"{d} {k}" for d in _DEVICES for k in ("Dense", "Sparse")
+            f"{d} {k}" for d in devices for k in ("Dense", "Sparse")
         ],
     )
     data = {}
     for ab, cd, shapes in _MMA_GRID:
         for shape in shapes:
             cells = []
-            for d in _DEVICES:
+            for d in devices:
                 tm = TensorCoreTimingModel(get_device(d))
                 dd = tm.mma(_mma_instr(ab, cd, shape, False))
                 sp = tm.mma(_mma_instr(ab, cd, shape, True))
@@ -106,7 +109,7 @@ def table07() -> Tuple[Table, List[Check]]:
 
     checks: List[Check] = []
     # larger shapes achieve higher throughput on A100/H800, not Ada
-    for d in ("A100", "H800"):
+    for d in ctx.select("A100", "H800"):
         small = data[(DType.FP16, DType.FP16, (16, 8, 8), d)][0]
         large = data[(DType.FP16, DType.FP16, (16, 8, 16), d)][0]
         checks.append(Check(
@@ -114,54 +117,60 @@ def table07() -> Tuple[Table, List[Check]]:
             large.throughput_tflops() >= small.throughput_tflops(),
         ))
     # sparse speedups
-    d16 = data[(DType.FP16, DType.FP16, (16, 8, 16), "RTX4090")]
-    checks.append(ratio_between(
-        "RTX4090: sparse mma ≈ 2× dense (vendor claim holds)",
-        d16[1].throughput_tflops(), d16[0].throughput_tflops(),
-        1.9, 2.1,
-    ))
-    a16 = data[(DType.FP16, DType.FP16, (16, 8, 16), "A100")]
-    checks.append(ratio_between(
-        "A100: large-shape sparse mma reaches the 2× speedup",
-        a16[1].throughput_tflops(), a16[0].throughput_tflops(),
-        1.9, 2.1,
-    ))
-    # H800 sparse average speedup ≈ 1.42
-    ratios = []
-    for ab, cd, shapes in _MMA_GRID:
-        for shape in shapes:
-            dd, sp = data[(ab, cd, shape, "H800")]
-            ratios.append(sp.throughput_tflops()
-                          / dd.throughput_tflops())
-    checks.append(approx(
-        "H800: sparse mma averages ≈1.42× dense (paper §IV-C)",
-        sum(ratios) / len(ratios), 1.42, rel_tol=0.08,
-    ))
-    # fraction of peak
-    h800 = get_device("H800")
-    fracs = []
-    for ab, cd, shapes in _MMA_GRID:
-        for shape in shapes:
-            fracs.append(data[(ab, cd, shape, "H800")][0]
-                         .fraction_of_peak())
-    checks.append(approx(
-        "H800: dense mma averages ≈62.9% of peak (paper §IV-C)",
-        100 * sum(fracs) / len(fracs), 62.9, rel_tol=0.10,
-    ))
-    a_fracs = [data[(ab, cd, shapes[-1], "A100")][0].fraction_of_peak()
-               for ab, cd, shapes in _MMA_GRID]
-    checks.append(Check(
-        "A100: large-shape dense mma exceeds 95% of peak",
-        min(a_fracs) > 0.95,
-        detail=f"min {min(a_fracs):.3f}",
-    ))
-    checks.append(Check(
-        "RTX4090 exceeds its official peak (runs above boost clock)",
-        data[(DType.FP16, DType.FP16, (16, 8, 16), "RTX4090")][0]
-        .throughput_tflops() > 330.3,
-    ))
+    if ctx.has("RTX4090"):
+        d16 = data[(DType.FP16, DType.FP16, (16, 8, 16), "RTX4090")]
+        checks.append(ratio_between(
+            "RTX4090: sparse mma ≈ 2× dense (vendor claim holds)",
+            d16[1].throughput_tflops(), d16[0].throughput_tflops(),
+            1.9, 2.1,
+        ))
+    if ctx.has("A100"):
+        a16 = data[(DType.FP16, DType.FP16, (16, 8, 16), "A100")]
+        checks.append(ratio_between(
+            "A100: large-shape sparse mma reaches the 2× speedup",
+            a16[1].throughput_tflops(), a16[0].throughput_tflops(),
+            1.9, 2.1,
+        ))
+    if ctx.has("H800"):
+        # H800 sparse average speedup ≈ 1.42
+        ratios = []
+        for ab, cd, shapes in _MMA_GRID:
+            for shape in shapes:
+                dd, sp = data[(ab, cd, shape, "H800")]
+                ratios.append(sp.throughput_tflops()
+                              / dd.throughput_tflops())
+        checks.append(approx(
+            "H800: sparse mma averages ≈1.42× dense (paper §IV-C)",
+            sum(ratios) / len(ratios), 1.42, rel_tol=0.08,
+        ))
+        # fraction of peak
+        fracs = []
+        for ab, cd, shapes in _MMA_GRID:
+            for shape in shapes:
+                fracs.append(data[(ab, cd, shape, "H800")][0]
+                             .fraction_of_peak())
+        checks.append(approx(
+            "H800: dense mma averages ≈62.9% of peak (paper §IV-C)",
+            100 * sum(fracs) / len(fracs), 62.9, rel_tol=0.10,
+        ))
+    if ctx.has("A100"):
+        a_fracs = [data[(ab, cd, shapes[-1], "A100")][0]
+                   .fraction_of_peak()
+                   for ab, cd, shapes in _MMA_GRID]
+        checks.append(Check(
+            "A100: large-shape dense mma exceeds 95% of peak",
+            min(a_fracs) > 0.95,
+            detail=f"min {min(a_fracs):.3f}",
+        ))
+    if ctx.has("RTX4090"):
+        checks.append(Check(
+            "RTX4090 exceeds its official peak (runs above boost "
+            "clock)",
+            data[(DType.FP16, DType.FP16, (16, 8, 16), "RTX4090")][0]
+            .throughput_tflops() > 330.3,
+        ))
     # dense and sparse latency are equal
-    for d in _DEVICES:
+    for d in devices:
         dd, sp = data[(DType.FP16, DType.FP16, (16, 8, 16), d)]
         checks.append(Check(
             f"{d}: sparse and dense mma latencies match",
@@ -170,8 +179,8 @@ def table07() -> Tuple[Table, List[Check]]:
     return table, checks
 
 
-def _wgmma_rows(sparse: bool):
-    tm = TensorCoreTimingModel(get_device("H800"))
+def _wgmma_rows(device: str, sparse: bool):
+    tm = TensorCoreTimingModel(get_device(device))
     rows = {}
     for ab, cd in _WGMMA_PAIRS:
         ss = tm.wgmma(WgmmaInstruction(
@@ -186,9 +195,10 @@ def _wgmma_rows(sparse: bool):
     "table08_wgmma_dense",
     "Table VIII",
     "Dense wgmma variants on H800: SS/RS × zero/random operands",
+    devices=("H800",),
 )
-def table08() -> Tuple[Table, List[Check]]:
-    rows = _wgmma_rows(sparse=False)
+def table08(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    rows = _wgmma_rows(ctx.pin("H800"), sparse=False)
     table = Table(
         "Table VIII: dense wgmma m64n256kK on H800",
         ["A/B", "C/D", "LAT/Thpt (SS,Zero)", "LAT/Thpt (RS,Zero)",
@@ -236,9 +246,10 @@ def table08() -> Tuple[Table, List[Check]]:
     "table09_wgmma_sparse",
     "Table IX",
     "Sparse wgmma variants on H800: the SS-mode penalty",
+    devices=("H800",),
 )
-def table09() -> Tuple[Table, List[Check]]:
-    rows = _wgmma_rows(sparse=True)
+def table09(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    rows = _wgmma_rows(ctx.pin("H800"), sparse=True)
     table = Table(
         "Table IX: sparse wgmma sp.m64n256kK on H800",
         ["A/B", "C/D", "LAT/Thpt (SS,Zero)", "LAT/Thpt (RS,Zero)",
@@ -276,9 +287,11 @@ def table09() -> Tuple[Table, List[Check]]:
     "table10_wgmma_nsweep",
     "Table X",
     "wgmma throughput vs N: compute density hides operand latency",
+    devices=("H800",),
 )
-def table10() -> Tuple[Table, List[Check]]:
-    tm = TensorCoreTimingModel(get_device("H800"))
+def table10(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    dev = get_device(ctx.pin("H800"))
+    tm = TensorCoreTimingModel(dev)
     ns = (256, 128, 64, 32, 16, 8)
     table = Table(
         "Table X: wgmma m64nNk16 f32.f16 on H800 vs N",
@@ -299,7 +312,7 @@ def table10() -> Tuple[Table, List[Check]]:
                 )
         table.add_row(n, cells[0], cells[1], cells[2], cells[3])
 
-    peak = get_device("H800").tc_peak_tflops("fp16")
+    peak = dev.tc_peak_tflops("fp16")
     checks: List[Check] = []
     for n in (64, 128, 256):
         t = grid[(n, False, OperandSource.SHARED)]
@@ -336,7 +349,8 @@ def table10() -> Tuple[Table, List[Check]]:
     "Table XI",
     "Power and energy efficiency of max-shape mma instructions",
 )
-def table11() -> Tuple[Table, List[Check]]:
+def table11(ctx: RunContext) -> Tuple[Table, List[Check]]:
+    devices = ctx.device_order("A100", "H800", "RTX4090")
     grid = [
         (DType.FP16, DType.FP16, (16, 8, 16)),
         (DType.FP16, DType.FP32, (16, 8, 16)),
@@ -345,15 +359,14 @@ def table11() -> Tuple[Table, List[Check]]:
     ]
     table = Table(
         "Table XI: mma power (W) and efficiency (TFLOPS/W)",
-        ["A/B", "C/D", "T"] + [f"{d} {m}" for d in ("A100", "H800",
-                                                    "RTX4090")
+        ["A/B", "C/D", "T"] + [f"{d} {m}" for d in devices
                                for m in ("P", "E")],
     )
     eff = {}
     for ab, cd, shape in grid:
         for sparse in (False, True):
             cells = []
-            for d in ("A100", "H800", "RTX4090"):
+            for d in devices:
                 dev = get_device(d)
                 t = TensorCoreTimingModel(dev).mma(
                     _mma_instr(ab, cd, shape, sparse))
@@ -373,20 +386,27 @@ def table11() -> Tuple[Table, List[Check]]:
               for ab, cd, _ in grid]
         return sum(rs) / len(rs)
 
-    checks = [
-        approx("dense: H800 efficiency ≈ 1.60× A100 (paper §IV-C)",
-               avg_ratio("H800", "A100", False), 1.60, rel_tol=0.12),
-        approx("dense: H800 efficiency ≈ 1.69× RTX4090",
-               avg_ratio("H800", "RTX4090", False), 1.69, rel_tol=0.12),
-        approx("sparse: H800 efficiency ≈ 1.33× A100",
-               avg_ratio("H800", "A100", True), 1.33, rel_tol=0.12),
-        approx("sparse: H800 efficiency ≈ 1.39× RTX4090",
-               avg_ratio("H800", "RTX4090", True), 1.39, rel_tol=0.12),
-        Check(
-            "sparse always beats dense on energy efficiency",
-            all(eff[(ab, cd, True, d)] > eff[(ab, cd, False, d)]
-                for ab, cd, _ in grid
-                for d in ("A100", "H800", "RTX4090")),
-        ),
-    ]
+    checks: List[Check] = []
+    if ctx.has("H800", "A100"):
+        checks.append(approx(
+            "dense: H800 efficiency ≈ 1.60× A100 (paper §IV-C)",
+            avg_ratio("H800", "A100", False), 1.60, rel_tol=0.12))
+    if ctx.has("H800", "RTX4090"):
+        checks.append(approx(
+            "dense: H800 efficiency ≈ 1.69× RTX4090",
+            avg_ratio("H800", "RTX4090", False), 1.69, rel_tol=0.12))
+    if ctx.has("H800", "A100"):
+        checks.append(approx(
+            "sparse: H800 efficiency ≈ 1.33× A100",
+            avg_ratio("H800", "A100", True), 1.33, rel_tol=0.12))
+    if ctx.has("H800", "RTX4090"):
+        checks.append(approx(
+            "sparse: H800 efficiency ≈ 1.39× RTX4090",
+            avg_ratio("H800", "RTX4090", True), 1.39, rel_tol=0.12))
+    checks.append(Check(
+        "sparse always beats dense on energy efficiency",
+        all(eff[(ab, cd, True, d)] > eff[(ab, cd, False, d)]
+            for ab, cd, _ in grid
+            for d in devices),
+    ))
     return table, checks

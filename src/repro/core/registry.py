@@ -3,14 +3,26 @@
 An :class:`Experiment` bundles an artefact id (``table04_mem_latency``),
 the paper reference, a builder that produces the result table and the
 shape checks that verify the paper's findings on it.
+
+Builders are **context-parameterized**: they take a
+:class:`~repro.core.context.RunContext` and draw their device list,
+seed and fidelity tier from it instead of hardcoding the paper's
+testbed.  Legacy zero-argument builders still register (a shim adapts
+them) but emit a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+import difflib
+import inspect
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.checks import Check
+from repro.core.context import DEFAULT_CONTEXT, DeviceNotInContext, \
+    RunContext
 from repro.core.tables import Table
 
 __all__ = [
@@ -19,9 +31,25 @@ __all__ = [
     "register",
     "get_experiment",
     "list_experiments",
+    "supported_experiments",
     "run_experiment",
     "run_all",
 ]
+
+Builder = Callable[[RunContext], Tuple[Table, List[Check]]]
+
+
+def _accepts_context(fn: Callable) -> bool:
+    """Does ``fn`` take the RunContext positional parameter?"""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):   # builtins, odd callables
+        return False
+    for p in sig.parameters.values():
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD,
+                      p.VAR_POSITIONAL):
+            return True
+    return False
 
 
 @dataclass(frozen=True)
@@ -31,6 +59,7 @@ class ExperimentResult:
     experiment: "Experiment"
     table: Table
     checks: Tuple[Check, ...]
+    context: Optional[RunContext] = None
 
     @property
     def passed(self) -> bool:
@@ -39,35 +68,73 @@ class ExperimentResult:
     def render(self) -> str:
         parts = [self.table.render(), ""]
         parts += [c.render() for c in self.checks]
+        if self.context is not None and not self.context.is_default:
+            parts.append(f"(context: {self.context.token()})")
         return "\n".join(parts)
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One paper artefact reproduction."""
+    """One paper artefact reproduction.
+
+    ``devices`` names the devices the artefact is *pinned* to (the
+    paper measured it on exactly those GPUs); ``None`` means the
+    builder sweeps whatever the context provides.
+    """
 
     name: str
     paper_ref: str        # e.g. "Table IV" / "Fig. 8"
     description: str
-    builder: Callable[[], Tuple[Table, List[Check]]]
+    builder: Builder
+    devices: Optional[Tuple[str, ...]] = None
 
-    def run(self) -> ExperimentResult:
-        table, checks = self.builder()
-        return ExperimentResult(self, table, tuple(checks))
+    def supports(self, context: RunContext) -> bool:
+        """Can this experiment run under ``context``'s device sweep?"""
+        return not self.devices or context.has(*self.devices)
+
+    def run(self, context: Optional[RunContext] = None) \
+            -> ExperimentResult:
+        ctx = DEFAULT_CONTEXT if context is None else context
+        if not self.supports(ctx):
+            raise DeviceNotInContext(
+                f"{self.name} is pinned to {list(self.devices)} but "
+                f"the context only provides {list(ctx.devices)}"
+            )
+        t0 = time.perf_counter()
+        if _accepts_context(self.builder):
+            table, checks = self.builder(ctx)
+        else:       # legacy zero-argument builder
+            table, checks = self.builder()
+        ctx.emit(self.name, time.perf_counter() - t0)
+        return ExperimentResult(self, table, tuple(checks), context=ctx)
 
 
 _REGISTRY: Dict[str, Experiment] = {}
 
 
-def register(name: str, paper_ref: str, description: str):
-    """Decorator registering a builder function as an experiment."""
+def register(name: str, paper_ref: str, description: str, *,
+             devices: Optional[Tuple[str, ...]] = None):
+    """Decorator registering a builder function as an experiment.
 
-    def deco(fn: Callable[[], Tuple[Table, List[Check]]]):
+    The builder should accept a :class:`RunContext`; zero-argument
+    builders are wrapped for back-compatibility and warn.
+    """
+
+    def deco(fn: Builder):
         if name in _REGISTRY:
             raise ValueError(f"experiment {name!r} already registered")
+        if not _accepts_context(fn):
+            warnings.warn(
+                f"experiment {name!r} registered a zero-argument "
+                "builder; builders should take a RunContext "
+                "(device sweeps and seeds cannot reach this one)",
+                DeprecationWarning, stacklevel=2,
+            )
         _REGISTRY[name] = Experiment(
             name=name, paper_ref=paper_ref,
             description=description, builder=fn,
+            devices=tuple(d.upper() for d in devices) if devices
+            else None,
         )
         return fn
 
@@ -78,8 +145,13 @@ def get_experiment(name: str) -> Experiment:
     try:
         return _REGISTRY[name]
     except KeyError:
+        close = difflib.get_close_matches(
+            name, list_experiments(), n=3, cutoff=0.4)
+        hint = (f"did you mean {' or '.join(repr(c) for c in close)}?"
+                if close else
+                "see `hopperdissect list` for the registered names")
         raise KeyError(
-            f"unknown experiment {name!r}; known: {list_experiments()}"
+            f"unknown experiment {name!r}; {hint}"
         ) from None
 
 
@@ -87,21 +159,35 @@ def list_experiments() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def run_experiment(name: str) -> ExperimentResult:
-    return get_experiment(name).run()
+def supported_experiments(context: RunContext) -> List[str]:
+    """Registered experiments runnable under ``context``'s devices."""
+    return [n for n in list_experiments()
+            if _REGISTRY[n].supports(context)]
 
 
-def run_all(*, jobs: int = 1, cache=None) -> Dict[str, ExperimentResult]:
+def run_experiment(name: str,
+                   context: Optional[RunContext] = None) \
+        -> ExperimentResult:
+    return get_experiment(name).run(context)
+
+
+def run_all(*, jobs: int = 1, cache=None,
+            context: Optional[RunContext] = None) \
+        -> Dict[str, ExperimentResult]:
     """Run every registered experiment (the EXPERIMENTS.md generator).
 
     ``jobs > 1`` fans the builders out over a process pool and
     ``cache`` (a :class:`repro.perf.ResultCache`) serves previously
     computed results; both are wall-time-only knobs — the returned
     mapping is identical to the serial uncached run, in
-    :func:`list_experiments` order.
+    :func:`list_experiments` order.  A restrictive ``context`` drops
+    experiments pinned to devices outside its sweep.
     """
+    ctx = DEFAULT_CONTEXT if context is None else context
+    names = supported_experiments(ctx)
     if jobs <= 1 and cache is None:
-        return {name: run_experiment(name) for name in list_experiments()}
+        return {name: run_experiment(name, ctx) for name in names}
     from repro.perf.runner import run_experiments
 
-    return run_experiments(jobs=jobs, cache=cache).results
+    return run_experiments(names, jobs=jobs, cache=cache,
+                           context=ctx).results

@@ -15,18 +15,58 @@ the paper builds on): infer cache *capacity*, *line size* and
 Running these against the simulator recovers the configured geometry —
 the self-consistency check that the measurement methodology and the
 model agree.
+
+Each point of the capacity and stride sweeps is an independent chase
+through its own :class:`MemoryHierarchy`, so the sweeps fan out over
+the :func:`repro.perf.parallel_map` process pool (``jobs > 1``).  The
+chase *inside* a point is inherently serial — every load depends on
+the previous one; that is the whole point of P-chase — and stays so.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch import DeviceSpec
 from repro.isa.memory_ops import CacheOp
 from repro.memory.hierarchy import MemoryHierarchy
 
 __all__ = ["CacheProbe", "DetectedParameters"]
+
+
+def _capacity_point(task: Tuple[DeviceSpec, int, int]) \
+        -> Tuple[int, float]:
+    """One capacity-sweep point (module-level: pool workers pickle it)."""
+    device, kib, iters = task
+    mh = MemoryHierarchy(device)
+    size = kib * 1024
+    mh.warm_l1(0, 0, size)
+    mh.warm_tlb(0, size)
+    n = size // 128
+    total = 0.0
+    idx = 0
+    for _ in range(iters):
+        total += mh.load(idx * 128, 32, sm_id=0).latency_clk
+        idx = (idx + 1) % n
+    return kib, total / iters
+
+
+def _stride_point(task: Tuple[DeviceSpec, int, int, int]) \
+        -> Tuple[int, float]:
+    """One stride-sweep point (module-level: pool workers pickle it)."""
+    device, stride, array_kib, iters = task
+    size = array_kib * 1024
+    mh = MemoryHierarchy(device)
+    mh.warm_tlb(0, size)
+    mh.warm_l2(0, size)
+    n = size // stride
+    total = 0.0
+    for i in range(iters):
+        addr = (i % n) * stride
+        total += mh.load(addr, 4, sm_id=0,
+                         cache_op=CacheOp.CACHE_ALL).latency_clk
+    return stride, total / iters
 
 
 @dataclass(frozen=True)
@@ -39,30 +79,32 @@ class DetectedParameters:
 
 
 class CacheProbe:
-    """P-chase-style parameter detection bound to one device."""
+    """P-chase-style parameter detection bound to one device.
 
-    def __init__(self, device: DeviceSpec) -> None:
+    ``jobs`` is the default process fan-out of the point sweeps; each
+    sweep also takes an explicit ``jobs`` override.
+    """
+
+    def __init__(self, device: DeviceSpec, *, jobs: int = 1) -> None:
         self.device = device
+        self.jobs = max(1, jobs)
+
+    def _map(self, fn, tasks, jobs: int):
+        # lazy import: repro.perf imports repro.core, which imports the
+        # experiment modules, which import this one
+        from repro.perf.runner import parallel_map
+
+        return parallel_map(fn, tasks,
+                            jobs=self.jobs if jobs is None else jobs)
 
     # -- capacity ------------------------------------------------------------
 
     def capacity_sweep(self, sizes_kib: List[int],
-                       iters: int = 1024) -> Dict[int, float]:
+                       iters: int = 1024, *,
+                       jobs: Optional[int] = None) -> Dict[int, float]:
         """Mean chase latency vs array size (KiB)."""
-        out = {}
-        for kib in sizes_kib:
-            mh = MemoryHierarchy(self.device)
-            size = kib * 1024
-            mh.warm_l1(0, 0, size)
-            mh.warm_tlb(0, size)
-            n = size // 128
-            total = 0.0
-            idx = 0
-            for _ in range(iters):
-                total += mh.load(idx * 128, 32, sm_id=0).latency_clk
-                idx = (idx + 1) % n
-            out[kib] = total / iters
-        return out
+        tasks = [(self.device, kib, iters) for kib in sizes_kib]
+        return dict(self._map(_capacity_point, tasks, jobs))
 
     def detect_l1_capacity(self, *, lo_kib: int = 16,
                            hi_kib: int = 1024) -> int:
@@ -85,26 +127,16 @@ class CacheProbe:
 
     def stride_sweep(self, strides: List[int],
                      array_kib: int = 512,
-                     iters: int = 512) -> Dict[int, float]:
+                     iters: int = 512, *,
+                     jobs: Optional[int] = None) -> Dict[int, float]:
         """Mean latency of a strided chase through a >L1 array that is
         re-walked after one warming pass (misses dominate).  Latency
         per *byte* falls as the stride shrinks below the sector size
         (several accesses share one fill); per-access latency is flat
         above it."""
-        out = {}
-        size = array_kib * 1024
-        for stride in strides:
-            mh = MemoryHierarchy(self.device)
-            mh.warm_tlb(0, size)
-            mh.warm_l2(0, size)
-            n = size // stride
-            total = 0.0
-            for i in range(iters):
-                addr = (i % n) * stride
-                total += mh.load(addr, 4, sm_id=0,
-                                 cache_op=CacheOp.CACHE_ALL).latency_clk
-            out[stride] = total / iters
-        return out
+        tasks = [(self.device, stride, array_kib, iters)
+                 for stride in strides]
+        return dict(self._map(_stride_point, tasks, jobs))
 
     def detect_sector_bytes(self) -> int:
         """Smallest stride at which every access misses L1 on first

@@ -4,40 +4,57 @@ Nothing in here changes *what* an experiment computes — this package
 exists so the full suite re-runs fast enough to live in an edit loop:
 
 * :mod:`repro.perf.cache` — a content-addressed on-disk result cache.
-  Keys cover the experiment name, the package version, a digest of
-  every registered device spec and a digest of the ``repro`` source
-  tree, so a cached :class:`~repro.core.registry.ExperimentResult` can
-  only ever be returned when re-running the builder would provably
-  produce the same table and checks.
+  Keys cover the experiment name, the package version, the
+  :class:`~repro.core.context.RunContext` token, a digest of the
+  context's device specs and a digest of the builder's *dependency
+  cut* (the ``repro`` modules it transitively imports), so a cached
+  :class:`~repro.core.registry.ExperimentResult` can only ever be
+  returned when re-running the builder would provably produce the
+  same table and checks — while edits to unrelated modules leave warm
+  entries warm.
 * :mod:`repro.perf.profile` — per-experiment wall-clock timings, the
-  ``BENCH_perf.json`` trajectory format and the regression comparator
+  ``BENCH_perf.json`` trajectory format, the append-only
+  ``BENCH_perf_history.jsonl`` archive and the regression comparator
   CI runs against the committed baseline.
 * :mod:`repro.perf.runner` — the parallel experiment runner
-  (:func:`~repro.perf.runner.run_experiments`) that fans builders out
-  over a process pool and merges results deterministically in
-  requested-name order.
+  (:func:`~repro.perf.runner.run_experiments`) that fans
+  context-parameterized builders out over a process pool and merges
+  results deterministically in requested-name order, plus the generic
+  :func:`~repro.perf.runner.parallel_map` used by the probe sweeps.
 """
 
 from __future__ import annotations
 
-from repro.perf.cache import ResultCache, ResultCacheStats
+from repro.perf.cache import (
+    ResultCache,
+    ResultCacheStats,
+    dependency_cut,
+)
 from repro.perf.profile import (
     ExperimentTiming,
     Profiler,
+    append_bench_history,
     compare_bench,
+    latest_bench_entry,
+    load_bench_history,
     load_bench_json,
     write_bench_json,
 )
-from repro.perf.runner import RunReport, run_experiments
+from repro.perf.runner import RunReport, parallel_map, run_experiments
 
 __all__ = [
     "ResultCache",
     "ResultCacheStats",
+    "dependency_cut",
     "ExperimentTiming",
     "Profiler",
     "compare_bench",
     "load_bench_json",
     "write_bench_json",
+    "append_bench_history",
+    "load_bench_history",
+    "latest_bench_entry",
     "RunReport",
     "run_experiments",
+    "parallel_map",
 ]

@@ -1,13 +1,31 @@
 """Content-addressed on-disk cache for experiment results.
 
 An experiment's output is a pure function of (a) its builder code and
-everything it transitively calls, and (b) the registered device specs.
-The cache key therefore hashes the experiment name together with the
-package version, a digest of every :class:`~repro.arch.DeviceSpec` and
-a digest of the whole ``repro`` source tree.  Any edit to any source
-file — even an unrelated one — changes the key and the stale entry is
-simply never looked up again, which is what makes caching safe to
-leave on by default.
+everything it transitively calls, and (b) the :class:`RunContext` it
+ran under (device sweep, seed, fidelity) plus the registered specs of
+those devices.  The cache key therefore hashes the experiment name
+together with the package version, the context token, a digest of the
+context's :class:`~repro.arch.DeviceSpec` objects and — the part that
+makes warm caches survive edits — a digest of only the ``repro``
+modules the builder *transitively imports* (its **dependency cut**),
+not the whole source tree.
+
+The cut is computed statically: each module's AST is scanned for
+``import``/``from`` statements (including ones nested inside
+functions, which the experiment modules use liberally) and the
+``repro.*`` targets are followed breadth-first.  An edit to
+``repro/te/modules.py`` therefore invalidates the Transformer-Engine
+experiments but leaves the memory-hierarchy entries warm.  Imports are
+mapped to *submodule files*, deliberately not to the parent package's
+``__init__`` — ``repro/core/__init__.py`` imports every experiment
+module, so routing through it would glue all cuts together and undo
+the point of the exercise.  For the same reason the orchestration
+layer itself (``repro.perf``, ``repro.cli``) is excluded from the
+graph: it fans work out and caches results but — by contract, and by
+the parallel-equals-serial tests — never changes what an experiment
+computes, while its runner imports ``repro.core`` wholesale and would
+otherwise re-glue everything.  Builders living outside ``repro`` fall
+back to the conservative whole-tree digest.
 
 Entries store the pickled :class:`~repro.core.tables.Table` and
 :class:`~repro.core.checks.Check` tuple, *not* the
@@ -16,26 +34,38 @@ holds the experiment (whose builder is an arbitrary callable, often
 unpicklable) and is re-attached from the live registry on load.
 Corrupt or truncated files are treated as misses.  Writes go through a
 temp file + :func:`os.replace` so concurrent runners never observe a
-partial entry.
+partial entry.  Keys embed the context token, so the same experiment
+cached under different contexts coexists on disk.
 """
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.context import DEFAULT_CONTEXT, RunContext
 from repro.core.registry import ExperimentResult, get_experiment
 
 __all__ = ["ResultCache", "ResultCacheStats", "default_cache_dir",
-           "source_digest", "device_digest"]
+           "source_digest", "device_digest", "dependency_cut"]
 
 #: bump when the on-disk payload layout changes
-_SCHEMA = 1
+_SCHEMA = 2
+
+#: orchestration modules kept out of dependency graphs — they decide
+#: how builders run, never what they compute (see the module docstring)
+_GRAPH_EXCLUDED = ("repro.perf", "repro.cli")
+
+
+def _graph_excluded(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in _GRAPH_EXCLUDED)
 
 
 def default_cache_dir() -> Path:
@@ -48,8 +78,94 @@ def default_cache_dir() -> Path:
     return base / "hopperdissect"
 
 
+def _read_source(path: Path) -> bytes:
+    """Read one module's source.  Module-level so tests can stub the
+    view of the tree without touching real files."""
+    return Path(path).read_bytes()
+
+
+def _module_index() -> Dict[str, Path]:
+    """Map every importable ``repro.*`` module name to its file."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    index: Dict[str, Path] = {"repro": root / "__init__.py"}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        parts = list(rel.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        index[".".join(["repro", *parts]) if parts else "repro"] = path
+    return index
+
+
+def _imported_modules(module: str, source: bytes,
+                      index: Dict[str, Path]) -> List[str]:
+    """The ``repro.*`` modules ``module``'s source imports.
+
+    ``from repro.pkg import name`` resolves to ``repro.pkg`` — or to
+    ``repro.pkg.name`` when that is itself a module — never to parent
+    packages of an explicit submodule target.  Relative imports are
+    resolved against ``module``'s package.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    package = module if index.get(module, Path("")).name \
+        == "__init__.py" else module.rpartition(".")[0]
+    found: List[str] = []
+
+    def add(name: str) -> None:
+        if (name in index and name not in found
+                and not _graph_excluded(name)):
+            found.append(name)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:                       # relative import
+                base_parts = package.split(".")
+                up = node.level - 1
+                base_parts = base_parts[:len(base_parts) - up] \
+                    if up else base_parts
+                base = ".".join(base_parts)
+                target = f"{base}.{node.module}" if node.module \
+                    else base
+            else:
+                target = node.module or ""
+            if not target.startswith("repro"):
+                continue
+            add(target)
+            for alias in node.names:
+                add(f"{target}.{alias.name}")
+    return found
+
+
+def dependency_cut(module: str) -> Tuple[str, ...]:
+    """Every ``repro.*`` module transitively imported by ``module``
+    (inclusive), sorted — the invalidation scope of a builder."""
+    index = _module_index()
+    if module not in index:
+        return ()
+    seen = {module}
+    frontier = [module]
+    while frontier:
+        current = frontier.pop()
+        deps = _imported_modules(current,
+                                 _read_source(index[current]), index)
+        for dep in deps:
+            if dep not in seen:
+                seen.add(dep)
+                frontier.append(dep)
+    return tuple(sorted(seen))
+
+
 def source_digest() -> str:
-    """Digest of every ``.py`` file in the installed ``repro`` tree."""
+    """Digest of every ``.py`` file in the installed ``repro`` tree —
+    the conservative fallback for builders outside ``repro``."""
     import repro
 
     root = Path(repro.__file__).resolve().parent
@@ -57,17 +173,18 @@ def source_digest() -> str:
     for path in sorted(root.rglob("*.py")):
         h.update(str(path.relative_to(root)).encode())
         h.update(b"\0")
-        h.update(path.read_bytes())
+        h.update(_read_source(path))
         h.update(b"\0")
     return h.hexdigest()
 
 
-def device_digest() -> str:
-    """Digest of every registered device spec."""
+def device_digest(devices: Optional[Tuple[str, ...]] = None) -> str:
+    """Digest of the named device specs (default: all registered)."""
     from repro.arch import get_device, list_devices
 
+    names = list(devices) if devices else list_devices()
     h = hashlib.sha256()
-    for name in list_devices():
+    for name in sorted(names):
         h.update(repr(get_device(name)).encode())
         h.update(b"\0")
     return h.hexdigest()
@@ -95,7 +212,9 @@ class ResultCache:
 
     root: Optional[Path] = None
     stats: ResultCacheStats = field(default_factory=ResultCacheStats)
-    _env_digest: Optional[str] = field(default=None, repr=False)
+    _cut_digests: Dict[str, str] = field(default_factory=dict,
+                                         repr=False)
+    _fallback_digest: Optional[str] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.root is None:
@@ -104,35 +223,58 @@ class ResultCache:
 
     # -- keys ---------------------------------------------------------------
 
-    def environment_digest(self) -> str:
-        """Digest of everything a result depends on besides its name.
+    def _cut_digest(self, module: str) -> str:
+        """Digest of ``module``'s dependency cut (memoised — source
+        cannot change under a running process in a way we could
+        honour anyway)."""
+        if module not in self._cut_digests:
+            index = _module_index()
+            cut = dependency_cut(module)
+            if not cut:          # builder outside repro: whole tree
+                if self._fallback_digest is None:
+                    self._fallback_digest = source_digest()
+                self._cut_digests[module] = \
+                    f"tree={self._fallback_digest}"
+            else:
+                h = hashlib.sha256()
+                for dep in cut:
+                    h.update(dep.encode())
+                    h.update(b"\0")
+                    h.update(_read_source(index[dep]))
+                    h.update(b"\0")
+                self._cut_digests[module] = f"cut={h.hexdigest()}"
+        return self._cut_digests[module]
 
-        Computed once per cache instance — the source tree cannot
-        change under a running process in a way we could honour
-        anyway.
-        """
-        if self._env_digest is None:
-            import repro
+    def key_for(self, name: str,
+                context: Optional[RunContext] = None) -> str:
+        """The full content-address of one (experiment, context)."""
+        import repro
 
-            h = hashlib.sha256()
-            h.update(f"schema={_SCHEMA}\n".encode())
-            h.update(f"version={repro.__version__}\n".encode())
-            h.update(f"devices={device_digest()}\n".encode())
-            h.update(f"source={source_digest()}\n".encode())
-            self._env_digest = h.hexdigest()
-        return self._env_digest
+        ctx = DEFAULT_CONTEXT if context is None else context
+        module = getattr(get_experiment(name).builder, "__module__",
+                         "") or ""
+        h = hashlib.sha256()
+        h.update(f"schema={_SCHEMA}\n".encode())
+        h.update(f"version={repro.__version__}\n".encode())
+        h.update(f"name={name}\n".encode())
+        h.update(f"context={ctx.token()}\n".encode())
+        h.update(f"devices={device_digest(ctx.devices)}\n".encode())
+        h.update(f"source:{self._cut_digest(module)}\n".encode())
+        return h.hexdigest()
 
-    def path_for(self, name: str) -> Path:
-        key = hashlib.sha256(
-            f"{name}\n{self.environment_digest()}".encode()
-        ).hexdigest()
-        return self.root / f"{name}-{key[:20]}.pkl"
+    def path_for(self, name: str,
+                 context: Optional[RunContext] = None) -> Path:
+        return self.root / f"{name}-{self.key_for(name, context)[:20]}.pkl"
 
     # -- the cache protocol -------------------------------------------------
 
-    def get(self, name: str) -> Optional[ExperimentResult]:
-        """Return the cached result for ``name`` or ``None``."""
-        path = self.path_for(name)
+    def get(self, name: str,
+            context: Optional[RunContext] = None) \
+            -> Optional[ExperimentResult]:
+        """Return the cached result for ``name`` under ``context``
+        (default context when omitted), or ``None``."""
+        ctx = DEFAULT_CONTEXT if context is None else context
+        path = self.path_for(name, ctx)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
@@ -143,6 +285,7 @@ class ResultCache:
                 experiment=get_experiment(name),
                 table=payload["table"],
                 checks=tuple(payload["checks"]),
+                context=RunContext.from_payload(payload["context"]),
             )
         except (OSError, pickle.UnpicklingError, EOFError, KeyError,
                 ValueError, AttributeError, ImportError):
@@ -152,13 +295,16 @@ class ResultCache:
         self.stats.hits += 1
         return result
 
-    def put(self, name: str, result: ExperimentResult) -> Path:
-        """Store ``result`` under ``name`` (atomic)."""
-        path = self.path_for(name)
+    def put(self, name: str, result: ExperimentResult,
+            context: Optional[RunContext] = None) -> Path:
+        """Store ``result`` under ``name`` + context (atomic)."""
+        ctx = context or result.context or DEFAULT_CONTEXT
+        path = self.path_for(name, ctx)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": _SCHEMA,
             "name": name,
+            "context": ctx.to_payload(),
             "table": result.table,
             "checks": tuple(result.checks),
         }

@@ -1,15 +1,23 @@
-"""Per-experiment wall-clock accounting and the perf trajectory file.
+"""Per-experiment wall-clock accounting and the perf trajectory files.
 
 The runner feeds a :class:`Profiler` one
 :class:`ExperimentTiming` per experiment; the profiler renders the
 ``--profile`` table and serialises to ``BENCH_perf.json``, the
 committed timing baseline CI compares fresh runs against via
 :func:`compare_bench`.
+
+``BENCH_perf.json`` is a single snapshot; the *archive* variant
+``BENCH_perf_history.jsonl`` appends one timestamped snapshot per run
+(:func:`append_bench_history`), so the timing trajectory across
+commits survives instead of being overwritten.  The regression gate
+accepts either: given a ``.jsonl`` it compares against the latest
+archived entry (:func:`latest_bench_entry`).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -20,6 +28,9 @@ __all__ = [
     "write_bench_json",
     "load_bench_json",
     "compare_bench",
+    "append_bench_history",
+    "load_bench_history",
+    "latest_bench_entry",
 ]
 
 #: bump when the BENCH_perf.json layout changes
@@ -98,6 +109,60 @@ def load_bench_json(path: Union[str, Path]) -> dict:
             f"{path}: unsupported bench schema {data.get('schema')!r}"
         )
     return data
+
+
+def append_bench_history(path: Union[str, Path],
+                         profiler: Profiler, *,
+                         timestamp: Optional[float] = None,
+                         label: Optional[str] = None) -> dict:
+    """Append one timestamped snapshot to a ``.jsonl`` archive.
+
+    Each line is a complete :meth:`Profiler.to_dict` payload plus a
+    ``timestamp`` (unix seconds, ``time.time()`` when omitted) and an
+    optional ``label`` (a git rev, a context token, …).  Returns the
+    appended entry.
+    """
+    entry = profiler.to_dict()
+    entry["timestamp"] = (time.time() if timestamp is None
+                          else float(timestamp))
+    if label is not None:
+        entry["label"] = label
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_bench_history(path: Union[str, Path]) -> List[dict]:
+    """Every entry of a ``.jsonl`` archive, oldest first.
+
+    Blank lines are skipped; a malformed or wrong-schema line is an
+    error (a half-written archive should fail loudly, not silently
+    shorten history).
+    """
+    entries: List[dict] = []
+    for i, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        if data.get("schema") != _BENCH_SCHEMA:
+            raise ValueError(
+                f"{path}:{i}: unsupported bench schema "
+                f"{data.get('schema')!r}"
+            )
+        entries.append(data)
+    return entries
+
+
+def latest_bench_entry(path: Union[str, Path]) -> dict:
+    """The newest (highest-timestamp) entry of a ``.jsonl`` archive."""
+    entries = load_bench_history(path)
+    if not entries:
+        raise ValueError(f"{path}: empty bench history")
+    return max(enumerate(entries),
+               key=lambda pair: (pair[1].get("timestamp", 0.0),
+                                 pair[0]))[1]
 
 
 def compare_bench(baseline: dict, current: dict, *,

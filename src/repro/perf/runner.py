@@ -1,12 +1,19 @@
 """The parallel experiment runner.
 
-Experiments are independent pure functions, so the suite parallelises
+Experiments are independent pure functions of their
+:class:`~repro.core.context.RunContext`, so the suite parallelises
 trivially — the only care needed is determinism (results are merged in
 requested-name order no matter which worker finishes first) and
-picklability (workers ship back ``(name, table, checks, wall)``; the
+picklability (workers receive ``(name, context_payload)`` and ship
+back ``(name, table, checks, wall)``; the
 :class:`~repro.core.registry.ExperimentResult` is reassembled in the
 parent against its own registry, because ``Experiment.builder`` is an
-arbitrary callable that may not pickle).
+arbitrary callable that may not pickle, and the context hook — an
+arbitrary callable too — never crosses the process boundary).
+
+:func:`parallel_map` is the same machinery for non-experiment
+workloads (the cache-study probe sweeps): a module-level worker
+function fanned over a pool, results in input order.
 """
 
 from __future__ import annotations
@@ -14,8 +21,17 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.context import DEFAULT_CONTEXT, RunContext
 from repro.core.registry import (
     ExperimentResult,
     get_experiment,
@@ -24,10 +40,10 @@ from repro.core.registry import (
 from repro.perf.cache import ResultCache
 from repro.perf.profile import Profiler
 
-__all__ = ["RunReport", "run_experiments"]
+__all__ = ["RunReport", "run_experiments", "parallel_map"]
 
 
-def _run_one(name: str) -> Tuple[str, object, tuple, float]:
+def _run_one(task: Tuple[str, dict]) -> Tuple[str, object, tuple, float]:
     """Worker entry point — must stay module-level for pickling.
 
     Importing :mod:`repro.core` on the worker side (re)populates the
@@ -36,8 +52,10 @@ def _run_one(name: str) -> Tuple[str, object, tuple, float]:
     """
     import repro.core  # noqa: F401  (registers experiments)
 
+    name, ctx_payload = task
+    ctx = RunContext.from_payload(ctx_payload)
     t0 = time.perf_counter()
-    result = get_experiment(name).run()
+    result = get_experiment(name).run(ctx)
     wall = time.perf_counter() - t0
     return name, result.table, tuple(result.checks), wall
 
@@ -59,13 +77,16 @@ def run_experiments(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    context: Optional[RunContext] = None,
 ) -> RunReport:
     """Run ``names`` (default: all), optionally cached and parallel.
 
     The returned mapping iterates in requested-name order and every
     result is identical to what a serial ``run_experiment`` loop would
-    produce — parallelism and caching change wall time only.
+    produce under the same ``context`` — parallelism and caching
+    change wall time only.
     """
+    ctx = DEFAULT_CONTEXT if context is None else context
     if names is None:
         names = list_experiments()
     names = list(names)
@@ -82,7 +103,7 @@ def run_experiments(
         hit = None
         if cache is not None:
             t0 = time.perf_counter()
-            hit = cache.get(name)
+            hit = cache.get(name, ctx)
             wall = time.perf_counter() - t0
         if hit is not None:
             results[name] = hit
@@ -92,23 +113,27 @@ def run_experiments(
 
     # 2. run the rest, fanned out if asked to
     if pending:
+        payload = ctx.to_payload()
+        tasks = [(name, payload) for name in pending]
         if jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending))
             ) as pool:
-                outcomes = list(pool.map(_run_one, pending))
+                outcomes = list(pool.map(_run_one, tasks))
         else:
-            outcomes = [_run_one(name) for name in pending]
+            outcomes = [_run_one(task) for task in tasks]
         for name, table, checks, wall in outcomes:
             res = ExperimentResult(
                 experiment=get_experiment(name),
                 table=table,
                 checks=checks,
+                context=ctx.without_hook(),
             )
             results[name] = res
             timings[name] = (wall, False)
+            ctx.emit(name, wall)
             if cache is not None:
-                cache.put(name, res)
+                cache.put(name, res, ctx)
 
     # 3. deterministic merge: requested order, whatever ran where
     ordered = {name: results[name] for name in names}
@@ -121,3 +146,26 @@ def run_experiments(
     else:
         profiler.cache_misses = len(names)
     return RunReport(results=ordered, profiler=profiler)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> List[Any]:
+    """``[fn(x) for x in items]``, fanned over a process pool.
+
+    ``fn`` must be a module-level (picklable) callable; results come
+    back in input order regardless of completion order.  ``jobs <= 1``
+    or a single item short-circuits to the serial loop, so callers can
+    pass a user-controlled job count straight through.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items))
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=max(1, chunksize)))

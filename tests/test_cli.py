@@ -108,3 +108,79 @@ class TestPerfFlags:
         finally:
             cli.run_all = orig
         assert seen["jobs"] == 3 and seen["cache"] is None
+
+
+class TestContextFlags:
+    def test_single_device_run(self, capsys):
+        assert main(["run", "--devices", "A100", "--no-cache",
+                     "table04_mem_latency"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out
+        assert "RTX4090" not in out
+        assert "context: devices=A100" in out
+
+    def test_device_flag_is_an_alias(self, capsys):
+        assert main(["run", "--device", "H800", "--no-cache",
+                     "table06_sass"]) == 0
+        assert "HGMMA" in capsys.readouterr().out
+
+    def test_experiment_name_right_after_devices_flag(self, capsys):
+        # --devices must not swallow the positional experiment name
+        assert main(["run", "--devices", "A100",
+                     "table04_mem_latency", "--no-cache"]) == 0
+        assert "context: devices=A100" in capsys.readouterr().out
+
+    def test_devices_comma_separated_and_repeated(self, capsys):
+        assert main(["run", "--devices", "A100,H800", "--no-cache",
+                     "table04_mem_latency"]) == 0
+        assert "context: devices=A100,H800" in capsys.readouterr().out
+        assert main(["run", "--device", "H800", "--device", "A100",
+                     "--no-cache", "table04_mem_latency"]) == 0
+        assert "context: devices=H800,A100" in capsys.readouterr().out
+
+    def test_all_skips_unsupported_with_note(self, capsys,
+                                             monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "list_experiments",
+            lambda: ["table03_devices", "fig08_dsm_rbc"])
+        assert main(["run", "--all", "--devices", "A100",
+                     "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "skipping fig08_dsm_rbc" in captured.err
+        assert "Table III" in captured.out
+
+    def test_pinned_experiment_fails_clearly_when_named(self):
+        with pytest.raises(KeyError, match="pinned"):
+            main(["run", "--devices", "A100", "--no-cache",
+                  "fig08_dsm_rbc"])
+
+    def test_unknown_device_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit, match="bad run context"):
+            main(["run", "--devices", "B200", "table03_devices"])
+
+    def test_seed_flag_reaches_builders(self, capsys):
+        assert main(["run", "--seed", "123", "--no-cache",
+                     "ext_fp8_accuracy"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "--seed", "123", "--no-cache",
+                     "ext_fp8_accuracy"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["run", "--no-cache", "ext_fp8_accuracy"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_bench_history_flag_appends(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        for _ in range(2):
+            assert main(["run", "table03_devices", "--no-cache",
+                         "--profile",
+                         "--bench-json",
+                         str(tmp_path / "BENCH_perf.json"),
+                         "--bench-history", str(hist)]) == 0
+        from repro.perf import load_bench_history
+        entries = load_bench_history(hist)
+        assert len(entries) == 2
+        assert all("table03_devices" in e["experiments"]
+                   for e in entries)
+        assert entries[0]["label"].startswith("devices=")

@@ -128,3 +128,146 @@ class TestCompareBench:
         base = _bench({"a": 0.2})
         cur = _bench({"a": 5.0}, cached={"a"})
         assert compare_bench(base, cur) == []
+
+
+class TestDependencyCutKeys:
+    """The cache invalidates on the builder's transitive imports, not
+    the whole tree."""
+
+    def _edit(self, monkeypatch, module_path_suffix):
+        """Make _read_source see one module's source as edited."""
+        from repro.perf import cache as cmod
+
+        real = cmod._read_source
+
+        def patched(path):
+            data = real(path)
+            if str(path).endswith(module_path_suffix):
+                return data + b"\n# edited\n"
+            return data
+
+        monkeypatch.setattr(cmod, "_read_source", patched)
+
+    def test_te_edit_keeps_memory_experiments_warm(self, tmp_path,
+                                                   monkeypatch):
+        from repro.perf import ResultCache
+
+        cache = ResultCache(tmp_path / "rc")
+        cache.put("table04_mem_latency",
+                  run_experiment("table04_mem_latency"))
+        cache.put("fig04_te_linear", run_experiment("fig04_te_linear"))
+
+        self._edit(monkeypatch, "te/modules.py")
+        warm = ResultCache(tmp_path / "rc")
+        assert warm.get("table04_mem_latency") is not None
+        assert warm.get("fig04_te_linear") is None
+
+    def test_memory_edit_invalidates_memory_experiments(self, tmp_path,
+                                                        monkeypatch):
+        from repro.perf import ResultCache
+
+        cache = ResultCache(tmp_path / "rc")
+        cache.put("table04_mem_latency",
+                  run_experiment("table04_mem_latency"))
+        self._edit(monkeypatch, "memory/hierarchy.py")
+        warm = ResultCache(tmp_path / "rc")
+        assert warm.get("table04_mem_latency") is None
+
+    def test_cut_contents(self):
+        from repro.perf import dependency_cut
+
+        cut = dependency_cut("repro.core.experiments.memory")
+        assert "repro.core.experiments.memory" in cut
+        assert "repro.memory.hierarchy" in cut      # transitive
+        assert "repro.te.modules" not in cut        # unrelated
+        assert not any(m.startswith("repro.perf") for m in cut)
+        assert "repro.core" not in cut              # no hub gluing
+
+    def test_function_level_imports_are_tracked(self):
+        # extensions.py imports repro.te inside builder bodies only
+        from repro.perf import dependency_cut
+
+        cut = dependency_cut("repro.core.experiments.extensions")
+        assert any(m.startswith("repro.te") for m in cut)
+
+
+class TestContextKeys:
+    """The same experiment under different contexts coexists."""
+
+    def test_contexts_do_not_collide(self, tmp_path):
+        from repro.core import RunContext
+        from repro.perf import ResultCache
+
+        ctx = RunContext(devices=("A100",))
+        cache = ResultCache(tmp_path / "rc")
+        default_res = run_experiment(EXP)
+        sweep_res = run_experiment(EXP, ctx)
+        cache.put(EXP, default_res)
+        cache.put(EXP, sweep_res, ctx)
+
+        assert cache.path_for(EXP) != cache.path_for(EXP, ctx)
+        got_default = cache.get(EXP)
+        got_sweep = cache.get(EXP, ctx)
+        assert got_default.render() == default_res.render()
+        assert got_sweep.render() == sweep_res.render()
+        assert got_sweep.context == ctx
+
+    def test_seed_changes_the_key(self, tmp_path):
+        from repro.core import RunContext
+        from repro.perf import ResultCache
+
+        cache = ResultCache(tmp_path / "rc")
+        assert cache.key_for(EXP) != \
+            cache.key_for(EXP, RunContext(seed=1))
+
+
+class TestBenchHistory:
+    def test_append_and_latest(self, tmp_path):
+        from repro.perf import (
+            append_bench_history,
+            latest_bench_entry,
+            load_bench_history,
+        )
+
+        path = tmp_path / "BENCH_perf_history.jsonl"
+        append_bench_history(path, _profiler(), timestamp=100.0,
+                             label="first")
+        append_bench_history(path, _profiler(), timestamp=200.0)
+        entries = load_bench_history(path)
+        assert len(entries) == 2
+        assert entries[0]["label"] == "first"
+        latest = latest_bench_entry(path)
+        assert latest["timestamp"] == 200.0
+        assert latest["experiments"]["exp_a"]["wall_s"] == 0.5
+
+    def test_wrong_schema_line_rejected(self, tmp_path):
+        from repro.perf import load_bench_history
+
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"schema": 99}\n')
+        with pytest.raises(ValueError, match="schema"):
+            load_bench_history(path)
+
+    def test_empty_archive_rejected(self, tmp_path):
+        from repro.perf import latest_bench_entry
+
+        path = tmp_path / "h.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="empty"):
+            latest_bench_entry(path)
+
+    def test_regression_gate_reads_jsonl(self, tmp_path):
+        import subprocess
+        import sys
+
+        from repro.perf import append_bench_history
+
+        path = tmp_path / "hist.jsonl"
+        append_bench_history(path, _profiler(), timestamp=1.0)
+        out = subprocess.run(
+            [sys.executable, "benchmarks/check_perf_regression.py",
+             str(path), str(path)],
+            capture_output=True, text=True,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "no perf regressions" in out.stdout
