@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Validate an emitted trace file against the Chrome trace-event shape.
+
+Usage::
+
+    python benchmarks/validate_trace.py TRACE.json [TRACE2.jsonl ...]
+
+Accepts both export formats of :mod:`repro.obs.trace`:
+
+* Chrome/Perfetto JSON — an object with a ``traceEvents`` list whose
+  entries carry ``name``/``ph``/``pid``/``tid`` (integer ids after
+  export)
+  and numeric ``ts`` on non-metadata events, plus the ``process_name``
+  metadata rows that label the ``wall`` and ``sim`` clock domains.
+* compact JSONL — one raw event object per line, string track names.
+
+Exit code 0 when every file validates; prints one summary line per
+file.  CI runs this as the trace-schema smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: phases repro.obs.trace may legitimately emit
+_PHASES = {"X", "i", "C", "M"}
+
+
+def _check_event(ev: dict, *, mapped_ids: bool, where: str) -> None:
+    missing = {"name", "ph", "pid", "tid"} - set(ev)
+    if missing:
+        raise ValueError(f"{where}: missing keys {sorted(missing)}")
+    if ev["ph"] not in _PHASES:
+        raise ValueError(f"{where}: unknown phase {ev['ph']!r}")
+    if mapped_ids and not (isinstance(ev["pid"], int)
+                           and isinstance(ev["tid"], int)):
+        raise ValueError(f"{where}: exported pid/tid must be ints")
+    if ev["ph"] != "M":
+        if not isinstance(ev.get("ts"), (int, float)):
+            raise ValueError(f"{where}: non-numeric ts")
+    if ev["ph"] == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ValueError(f"{where}: complete span needs dur >= 0")
+
+
+def validate_chrome(path: Path) -> int:
+    payload = json.loads(path.read_text())
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError(f"{path}: empty or missing traceEvents")
+    for i, ev in enumerate(events):
+        _check_event(ev, mapped_ids=True, where=f"{path}[{i}]")
+    tracks = {ev["args"]["name"] for ev in events
+              if ev.get("name") == "process_name"}
+    if "wall" not in tracks:
+        raise ValueError(f"{path}: no 'wall' track metadata")
+    return len(events)
+
+
+def validate_jsonl(path: Path) -> int:
+    n = 0
+    with open(path) as fh:
+        for i, line in enumerate(fh):
+            if not line.strip():
+                continue
+            _check_event(json.loads(line), mapped_ids=False,
+                         where=f"{path}:{i + 1}")
+            n += 1
+    if not n:
+        raise ValueError(f"{path}: no events")
+    return n
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: validate_trace.py TRACE [TRACE ...]",
+              file=sys.stderr)
+        return 2
+    for arg in argv:
+        path = Path(arg)
+        if path.suffix == ".jsonl":
+            n = validate_jsonl(path)
+        else:
+            n = validate_chrome(path)
+        print(f"{path}: OK ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

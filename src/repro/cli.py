@@ -11,6 +11,9 @@ Subcommands::
     hopperdissect run --all --seed 7   # reseed the RNG-using workloads
     hopperdissect devices              # Table III
     hopperdissect report -o EXPERIMENTS.md
+    hopperdissect run --all --counters # + hardware-counter table
+    hopperdissect run --all --trace t.json   # + Perfetto trace
+    hopperdissect stats table04_mem_latency  # counter deep-dive
 
 ``--device/--devices`` and ``--seed``/``--fidelity`` build the
 :class:`~repro.core.context.RunContext` the builders run under; the
@@ -69,6 +72,32 @@ def _make_cache(args):
     return ResultCache()
 
 
+def _make_obs(args):
+    """An :class:`~repro.obs.ObsSession` when ``--counters`` or
+    ``--trace`` asked for one, else ``None`` (instrumentation stays on
+    its null-object fast path)."""
+    if getattr(args, "counters", False) or getattr(args, "trace", None):
+        from repro.obs import ObsSession
+
+        return ObsSession(trace=bool(getattr(args, "trace", None)))
+    return None
+
+
+def _finish_obs(session, args) -> None:
+    """Print/serialize whatever the session collected."""
+    if session is None:
+        return
+    if getattr(args, "counters", False):
+        print(session.render_counters())
+        print()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        session.write_trace(trace_path)
+        print(f"wrote {trace_path} "
+              f"({len(session.tracer.events)} events; load in "
+              f"ui.perfetto.dev or chrome://tracing)")
+
+
 def _make_context(args) -> RunContext:
     """The :class:`RunContext` the flags describe (default testbed
     when nothing was overridden)."""
@@ -99,8 +128,8 @@ def _cmd_run(args) -> int:
             if exp.supports(context):
                 names.append(name)
             else:
-                print(f"note: skipping {name} (pinned to "
-                      f"{', '.join(exp.devices)}; not in context "
+                print(f"note: skipping {name} ({exp.pin_note()}; "
+                      f"not satisfied by context "
                       f"{','.join(context.devices)})", file=sys.stderr)
     else:
         names = args.experiments
@@ -114,14 +143,23 @@ def _cmd_run(args) -> int:
         write_bench_json,
     )
 
-    report = run_experiments(names, jobs=args.jobs,
-                             cache=_make_cache(args),
-                             context=context)
+    session = _make_obs(args)
+    if session is not None:
+        context = session.bind(context)
+        with session.activate():
+            report = run_experiments(names, jobs=args.jobs,
+                                     cache=_make_cache(args),
+                                     context=context)
+    else:
+        report = run_experiments(names, jobs=args.jobs,
+                                 cache=_make_cache(args),
+                                 context=context)
     failed = 0
     for res in report.results.values():
         print(res.render())
         print()
         failed += sum(1 for c in res.checks if not c.passed)
+    _finish_obs(session, args)
     if args.profile:
         print(report.profiler.render())
         bench_path = args.bench_json or "BENCH_perf.json"
@@ -144,8 +182,16 @@ def _cmd_fidelity(_args) -> int:
 
 
 def _cmd_report(args) -> int:
-    results = run_all(jobs=args.jobs, cache=_make_cache(args),
-                      context=_make_context(args))
+    context = _make_context(args)
+    session = _make_obs(args)
+    if session is not None:
+        context = session.bind(context)
+        with session.activate():
+            results = run_all(jobs=args.jobs, cache=_make_cache(args),
+                              context=context)
+    else:
+        results = run_all(jobs=args.jobs, cache=_make_cache(args),
+                          context=context)
     md = experiments_markdown(results)
     if args.output:
         with open(args.output, "w") as fh:
@@ -153,7 +199,39 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}: {summary_line(results)}")
     else:
         print(md)
+    _finish_obs(session, args)
     return 0
+
+
+def _cmd_stats(args) -> int:
+    """Deep-dive one experiment: run it fresh (no result cache — a
+    cache hit would skip the instrumented code entirely) with counters
+    forced on, and render the counter table next to the result."""
+    from repro.obs import ObsSession
+    from repro.perf import run_experiments
+
+    context = _make_context(args)
+    exp = get_experiment(args.experiment)
+    if not exp.supports(context):
+        print(f"hopperdissect: {args.experiment} cannot run here "
+              f"({exp.pin_note()}; context "
+              f"{','.join(context.devices)})", file=sys.stderr)
+        return 2
+    session = ObsSession(trace=bool(args.trace))
+    context = session.bind(context)
+    with session.activate():
+        report = run_experiments([args.experiment], jobs=1,
+                                 cache=None, context=context)
+    res = report.results[args.experiment]
+    print(res.render())
+    print()
+    print(session.render_counters())
+    if args.trace:
+        session.write_trace(args.trace)
+        print(f"\nwrote {args.trace} "
+              f"({len(session.tracer.events)} events; load in "
+              f"ui.perfetto.dev or chrome://tracing)")
+    return 0 if res.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="ignore the on-disk result cache")
 
+    def add_obs_flags(sp) -> None:
+        sp.add_argument("--counters", action="store_true",
+                        help="collect hardware-style counters and "
+                             "print the counter table")
+        sp.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a structured trace (Chrome/"
+                             "Perfetto JSON, or JSONL for .jsonl "
+                             "paths)")
+
     def add_context_flags(sp) -> None:
         sp.add_argument("--device", "--devices", dest="devices",
                         action="append", default=None,
@@ -199,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every experiment the context supports")
     add_perf_flags(run_p)
     add_context_flags(run_p)
+    add_obs_flags(run_p)
     run_p.add_argument("--profile", action="store_true",
                        help="print per-experiment timings and write "
                             "the BENCH_perf.json trajectory")
@@ -221,7 +309,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path (default: stdout)")
     add_perf_flags(rep_p)
     add_context_flags(rep_p)
+    add_obs_flags(rep_p)
     rep_p.set_defaults(fn=_cmd_report)
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="run one experiment fresh and show its counter table",
+    )
+    stats_p.add_argument("experiment",
+                         help="experiment name (see `list`)")
+    add_context_flags(stats_p)
+    stats_p.add_argument("--trace", default=None, metavar="PATH",
+                         help="also write a structured trace")
+    stats_p.set_defaults(fn=_cmd_stats)
     return p
 
 

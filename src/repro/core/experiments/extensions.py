@@ -65,9 +65,9 @@ def ext_tma(ctx: RunContext) -> Tuple[Table, List[Check]]:
     "ext_cache_detection",
     "§III-A (extension)",
     "P-chase sweeps recover the cache geometry (methodology check)",
-    # the capacity probe walks power-of-two arrays, so it can only
-    # recover pow2 L1 sizes — A100's 192 KiB is out of reach
-    devices=("RTX4090", "H800"),
+    # the capacity sweep mixes pow2 and 1.5×pow2 sizes, so A100's
+    # 192 KiB L1 resolves too; any present testbed device will do
+    devices_any=("RTX4090", "A100", "H800"),
 )
 def ext_cache_detection(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.memory import CacheProbe
@@ -76,9 +76,9 @@ def ext_cache_detection(ctx: RunContext) -> Tuple[Table, List[Check]]:
         ["Device", "parameter", "detected", "configured"],
     )
     checks = []
-    for dev_name in ctx.select("RTX4090", "H800"):
+    for dev_name in ctx.select("RTX4090", "A100", "H800"):
         dev = get_device(dev_name)
-        probe = CacheProbe(dev)
+        probe = CacheProbe(dev, fidelity=ctx.fidelity)
         params = probe.detect()
         geo = dev.cache
         pairs = [

@@ -78,8 +78,11 @@ class Experiment:
     """One paper artefact reproduction.
 
     ``devices`` names the devices the artefact is *pinned* to (the
-    paper measured it on exactly those GPUs); ``None`` means the
-    builder sweeps whatever the context provides.
+    paper measured it on exactly those GPUs — the context must provide
+    **all** of them); ``devices_any`` is the weaker "any of" mode: the
+    builder adapts to whichever of the named devices the context
+    offers, so one present device suffices.  ``None`` for both means
+    the builder sweeps whatever the context provides.
     """
 
     name: str
@@ -87,18 +90,34 @@ class Experiment:
     description: str
     builder: Builder
     devices: Optional[Tuple[str, ...]] = None
+    devices_any: Optional[Tuple[str, ...]] = None
 
     def supports(self, context: RunContext) -> bool:
         """Can this experiment run under ``context``'s device sweep?"""
-        return not self.devices or context.has(*self.devices)
+        if self.devices and not context.has(*self.devices):
+            return False
+        if self.devices_any and not any(
+                context.has(d) for d in self.devices_any):
+            return False
+        return True
+
+    def pin_note(self) -> str:
+        """Human-readable device requirement, for skip messages."""
+        parts = []
+        if self.devices:
+            parts.append(f"pinned to {', '.join(self.devices)}")
+        if self.devices_any:
+            parts.append(f"needs any of "
+                         f"{', '.join(self.devices_any)}")
+        return "; ".join(parts) if parts else "no device pin"
 
     def run(self, context: Optional[RunContext] = None) \
             -> ExperimentResult:
         ctx = DEFAULT_CONTEXT if context is None else context
         if not self.supports(ctx):
             raise DeviceNotInContext(
-                f"{self.name} is pinned to {list(self.devices)} but "
-                f"the context only provides {list(ctx.devices)}"
+                f"{self.name} is {self.pin_note()} but the context "
+                f"only provides {list(ctx.devices)}"
             )
         t0 = time.perf_counter()
         if _accepts_context(self.builder):
@@ -113,11 +132,14 @@ _REGISTRY: Dict[str, Experiment] = {}
 
 
 def register(name: str, paper_ref: str, description: str, *,
-             devices: Optional[Tuple[str, ...]] = None):
+             devices: Optional[Tuple[str, ...]] = None,
+             devices_any: Optional[Tuple[str, ...]] = None):
     """Decorator registering a builder function as an experiment.
 
     The builder should accept a :class:`RunContext`; zero-argument
-    builders are wrapped for back-compatibility and warn.
+    builders are wrapped for back-compatibility and warn.  ``devices``
+    requires every named device in the context; ``devices_any``
+    requires at least one (for builders that adapt their sweep).
     """
 
     def deco(fn: Builder):
@@ -135,6 +157,8 @@ def register(name: str, paper_ref: str, description: str, *,
             description=description, builder=fn,
             devices=tuple(d.upper() for d in devices) if devices
             else None,
+            devices_any=tuple(d.upper() for d in devices_any)
+            if devices_any else None,
         )
         return fn
 

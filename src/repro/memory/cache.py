@@ -30,9 +30,12 @@ enforced by property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.obs.counters import NULL_COUNTERS
+from repro.obs.session import counters_or_null
 
 __all__ = ["SetAssociativeCache", "CacheStats"]
 
@@ -75,6 +78,12 @@ class SetAssociativeCache:
         Associativity.
     name:
         For diagnostics only.
+    level:
+        Observability label (``"l1"``/``"l2"``).  When set *and* an
+        :class:`~repro.obs.session.ObsSession` is active at
+        construction, recorded accesses additionally feed the
+        session's ``cache.<level>.*`` counters; otherwise the cache
+        holds the null sink and instrumentation costs one flag check.
     """
 
     def __init__(
@@ -85,6 +94,7 @@ class SetAssociativeCache:
         sector_bytes: int = 32,
         ways: int = 4,
         name: str = "cache",
+        level: Optional[str] = None,
     ) -> None:
         if size_bytes <= 0 or size_bytes % line_bytes:
             raise ValueError("size must be a positive multiple of the line")
@@ -103,6 +113,13 @@ class SetAssociativeCache:
         self.num_sets = num_lines // ways
         self.sectors_per_line = line_bytes // sector_bytes
         self.stats = CacheStats()
+        self.level = level
+        self._obs = counters_or_null() if level else NULL_COUNTERS
+        self._k_acc = f"cache.{level}.accesses"
+        self._k_hit = f"cache.{level}.hits"
+        self._k_sector = f"cache.{level}.sector_misses"
+        self._k_tag = f"cache.{level}.tag_misses"
+        self._k_evict = f"cache.{level}.evictions"
         self._clock = 0
         self._ins_counter = 0   # global insertion sequence (LRU tie-break)
         self._alloc_state()
@@ -154,8 +171,11 @@ class SetAssociativeCache:
         """
         self._clock += 1
         clock = self._clock
+        obs = self._obs if record else NULL_COUNTERS
         if record:
             self.stats.accesses += 1
+            if obs.enabled:
+                obs.add(self._k_acc)
         all_hit = True
         valid = self._valid
         stamp = self._stamp
@@ -170,16 +190,22 @@ class SetAssociativeCache:
             if way is not None:
                 if record:
                     self.stats.sector_misses += 1
+                    if obs.enabled:
+                        obs.add(self._k_sector)
                 if allocate:
                     valid[set_idx, way] |= bit
                     stamp[set_idx, way] = clock
             else:
                 if record:
                     self.stats.tag_misses += 1
+                    if obs.enabled:
+                        obs.add(self._k_tag)
                 if allocate:
                     self._insert(line_addr, set_idx, bit, record)
         if all_hit and record:
             self.stats.hits += 1
+            if obs.enabled:
+                obs.add(self._k_hit)
         return all_hit
 
     def access_many(self, addrs: Union[Sequence[int], np.ndarray],
@@ -255,6 +281,8 @@ class SetAssociativeCache:
             del self._where[int(self._lines[set_idx, way])]
             if record:
                 self.stats.evictions += 1
+                if self._obs.enabled:
+                    self._obs.add(self._k_evict)
         else:
             way = fill
             self._set_fill[set_idx] = fill + 1
@@ -325,11 +353,17 @@ class SetAssociativeCache:
         self._clock += n
         self._ins_counter += n_lines
         if record:
+            evicted = int(np.maximum(grp_sizes - self.ways, 0).sum())
             self.stats.accesses += n
             self.stats.tag_misses += n_lines
             self.stats.sector_misses += n - n_lines
-            self.stats.evictions += int(
-                np.maximum(grp_sizes - self.ways, 0).sum())
+            self.stats.evictions += evicted
+            obs = self._obs
+            if obs.enabled:
+                obs.add(self._k_acc, n)
+                obs.add(self._k_tag, n_lines)
+                obs.add(self._k_sector, n - n_lines)
+                obs.add(self._k_evict, evicted)
         return np.zeros(n, dtype=bool)
 
     # -- introspection -------------------------------------------------------------

@@ -31,19 +31,54 @@ from typing import Dict, List, Optional, Tuple
 from repro.arch import DeviceSpec
 from repro.isa.memory_ops import CacheOp
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import session as _obs
 
-__all__ = ["CacheProbe", "DetectedParameters"]
+__all__ = ["CacheProbe", "DetectedParameters", "PROBE_BUDGETS",
+           "capacity_sweep_sizes"]
+
+#: per-fidelity probe budgets: ``full`` buys longer chases and extra
+#: steady-state warmup passes before the measured loop — real
+#: precision, not a different code path
+PROBE_BUDGETS: Dict[str, Dict[str, int]] = {
+    "fast": {"capacity_iters": 512, "warmup_passes": 0,
+             "stride_iters": 512, "conflict_iters": 256},
+    "full": {"capacity_iters": 2048, "warmup_passes": 2,
+             "stride_iters": 1024, "conflict_iters": 1024},
+}
 
 
-def _capacity_point(task: Tuple[DeviceSpec, int, int]) \
+def capacity_sweep_sizes(lo_kib: int = 16,
+                         hi_kib: int = 1024) -> List[int]:
+    """Mixed power-of-two **and** 1.5×power-of-two sizes (KiB):
+    16, 24, 32, 48, 64, 96, 128, 192, …
+
+    The 1.5× points are what make non-pow2 L1 capacities detectable —
+    A100's 192 KiB sits exactly on one — where a pure pow2 walk jumps
+    straight from 128 to 256 and can only bound it.
+    """
+    sizes = []
+    kib = lo_kib
+    while kib <= hi_kib:
+        sizes.append(kib)
+        half = kib + kib // 2
+        if half <= hi_kib:
+            sizes.append(half)
+        kib *= 2
+    return sizes
+
+
+def _capacity_point(task: Tuple[DeviceSpec, int, int, int]) \
         -> Tuple[int, float]:
     """One capacity-sweep point (module-level: pool workers pickle it)."""
-    device, kib, iters = task
+    device, kib, iters, warmup = task
     mh = MemoryHierarchy(device)
     size = kib * 1024
     mh.warm_l1(0, 0, size)
     mh.warm_tlb(0, size)
     n = size // 128
+    for _ in range(warmup):        # extra steady-state chase passes
+        for i in range(n):
+            mh.load(i * 128, 32, sm_id=0)
     total = 0.0
     idx = 0
     for _ in range(iters):
@@ -82,41 +117,76 @@ class CacheProbe:
     """P-chase-style parameter detection bound to one device.
 
     ``jobs`` is the default process fan-out of the point sweeps; each
-    sweep also takes an explicit ``jobs`` override.
+    sweep also takes an explicit ``jobs`` override.  ``fidelity``
+    selects a :data:`PROBE_BUDGETS` tier — ``full`` runs longer chases
+    with steady-state warmup passes before every measured loop.
     """
 
-    def __init__(self, device: DeviceSpec, *, jobs: int = 1) -> None:
+    def __init__(self, device: DeviceSpec, *, jobs: int = 1,
+                 fidelity: str = "fast") -> None:
+        if fidelity not in PROBE_BUDGETS:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; "
+                f"expected one of {sorted(PROBE_BUDGETS)}")
         self.device = device
         self.jobs = max(1, jobs)
+        self.fidelity = fidelity
+        self.budget = PROBE_BUDGETS[fidelity]
 
     def _map(self, fn, tasks, jobs: int):
         # lazy import: repro.perf imports repro.core, which imports the
         # experiment modules, which import this one
         from repro.perf.runner import parallel_map
 
-        return parallel_map(fn, tasks,
-                            jobs=self.jobs if jobs is None else jobs)
+        jobs = self.jobs if jobs is None else jobs
+        if _obs.ACTIVE is not None:
+            # pool workers have no session, so their loads would drop
+            # out of the counter bank and serial/parallel dumps would
+            # diverge; under observability the sweeps stay in-process
+            jobs = 1
+        return parallel_map(fn, tasks, jobs=jobs)
+
+    def _span(self, name: str, points: int, iters: int):
+        """A wall-clock trace span around one sweep (or a null
+        context when tracing is off)."""
+        from contextlib import nullcontext
+
+        tracer = _obs.ACTIVE.tracer if _obs.ACTIVE is not None \
+            else None
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(
+            f"{name} {self.device.name}", cat="probe",
+            args={"device": self.device.name,
+                  "fidelity": self.fidelity,
+                  "points": points, "iters": iters,
+                  "warmup_passes": self.budget["warmup_passes"]})
 
     # -- capacity ------------------------------------------------------------
 
     def capacity_sweep(self, sizes_kib: List[int],
-                       iters: int = 1024, *,
+                       iters: Optional[int] = None, *,
                        jobs: Optional[int] = None) -> Dict[int, float]:
         """Mean chase latency vs array size (KiB)."""
-        tasks = [(self.device, kib, iters) for kib in sizes_kib]
-        return dict(self._map(_capacity_point, tasks, jobs))
+        if iters is None:
+            iters = self.budget["capacity_iters"]
+        warmup = self.budget["warmup_passes"]
+        tasks = [(self.device, kib, iters, warmup)
+                 for kib in sizes_kib]
+        with self._span("capacity_sweep", len(tasks), iters):
+            return dict(self._map(_capacity_point, tasks, jobs))
 
     def detect_l1_capacity(self, *, lo_kib: int = 16,
                            hi_kib: int = 1024) -> int:
-        """Largest power-of-two array (bytes) that still chases at L1
-        latency."""
+        """Largest array (bytes) that still chases at L1 latency.
+
+        The sweep walks :func:`capacity_sweep_sizes` — powers of two
+        plus the 1.5× midpoints — so 192 KiB-class capacities resolve
+        exactly instead of rounding down to 128.
+        """
         l1_lat = self.device.mem_latencies.l1_hit_clk
-        sizes = []
-        kib = lo_kib
-        while kib <= hi_kib:
-            sizes.append(kib)
-            kib *= 2
-        sweep = self.capacity_sweep(sizes, iters=512)
+        sizes = capacity_sweep_sizes(lo_kib, hi_kib)
+        sweep = self.capacity_sweep(sizes)
         best = 0
         for kib, lat in sweep.items():
             if lat <= l1_lat * 1.05:
@@ -127,16 +197,19 @@ class CacheProbe:
 
     def stride_sweep(self, strides: List[int],
                      array_kib: int = 512,
-                     iters: int = 512, *,
+                     iters: Optional[int] = None, *,
                      jobs: Optional[int] = None) -> Dict[int, float]:
         """Mean latency of a strided chase through a >L1 array that is
         re-walked after one warming pass (misses dominate).  Latency
         per *byte* falls as the stride shrinks below the sector size
         (several accesses share one fill); per-access latency is flat
         above it."""
+        if iters is None:
+            iters = self.budget["stride_iters"]
         tasks = [(self.device, stride, array_kib, iters)
                  for stride in strides]
-        return dict(self._map(_stride_point, tasks, jobs))
+        with self._span("stride_sweep", len(tasks), iters):
+            return dict(self._map(_stride_point, tasks, jobs))
 
     def detect_sector_bytes(self) -> int:
         """Smallest stride at which every access misses L1 on first
@@ -152,24 +225,29 @@ class CacheProbe:
     # -- associativity ------------------------------------------------------------
 
     def conflict_sweep(self, ways_range: List[int],
-                       iters: int = 256) -> Dict[int, float]:
+                       iters: Optional[int] = None) -> Dict[int, float]:
         """Chase ``w`` same-set addresses repeatedly."""
+        if iters is None:
+            iters = self.budget["conflict_iters"]
+        warmup = 1 + self.budget["warmup_passes"]
         geo = self.device.cache
         l1_lines = geo.l1_size_bytes // geo.line_bytes
         num_sets = l1_lines // geo.l1_associativity
         set_stride = num_sets * geo.line_bytes
         out = {}
-        for w in ways_range:
-            mh = MemoryHierarchy(self.device)
-            addrs = [i * set_stride for i in range(w)]
-            mh.warm_tlb(0, addrs[-1] + 128)
-            for a in addrs:              # warm pass
-                mh.load(a, 32, sm_id=0)
-            total = 0.0
-            for i in range(iters):
-                total += mh.load(addrs[i % w], 32,
-                                 sm_id=0).latency_clk
-            out[w] = total / iters
+        with self._span("conflict_sweep", len(ways_range), iters):
+            for w in ways_range:
+                mh = MemoryHierarchy(self.device)
+                addrs = [i * set_stride for i in range(w)]
+                mh.warm_tlb(0, addrs[-1] + 128)
+                for _ in range(warmup):      # warm pass(es)
+                    for a in addrs:
+                        mh.load(a, 32, sm_id=0)
+                total = 0.0
+                for i in range(iters):
+                    total += mh.load(addrs[i % w], 32,
+                                     sm_id=0).latency_clk
+                out[w] = total / iters
         return out
 
     def detect_l1_ways(self, max_ways: int = 16) -> int:

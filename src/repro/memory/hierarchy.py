@@ -19,6 +19,7 @@ from repro.isa.memory_ops import CacheOp
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.dram import DramChannel
 from repro.memory.tlb import Tlb
+from repro.obs.session import counters_or_null
 
 __all__ = ["MemLevel", "AccessResult", "BatchAccessResult",
            "MemoryHierarchy"]
@@ -72,9 +73,14 @@ class MemoryHierarchy:
             sector_bytes=geo.sector_bytes,
             ways=geo.l2_associativity,
             name=f"{device.name}-L2",
+            level="l2",
         )
         self.tlb = Tlb()
         self.dram = DramChannel.for_device(device)
+        # observability sink captured at construction: the null object
+        # when no session is active, so the load paths pay one flag
+        # check with observability off
+        self._obs = counters_or_null()
 
     # -- caches -----------------------------------------------------------
 
@@ -92,6 +98,7 @@ class MemoryHierarchy:
                 sector_bytes=geo.sector_bytes,
                 ways=geo.l1_associativity,
                 name=f"{self.device.name}-L1[{sm_id}]",
+                level="l1",
             )
         return self._l1[sm_id]
 
@@ -123,19 +130,25 @@ class MemoryHierarchy:
         tlb_hit = self.tlb.access(addr)
         extra = 0.0 if tlb_hit else lat.tlb_miss_clk
 
-        if cache_op.allocates_l1:
-            if self.l1_for_sm(sm_id).access(addr, size):
-                return AccessResult(lat.l1_hit_clk + extra, MemLevel.L1,
-                                    tlb_hit)
-            # L1 missed and will be filled below through L2.
-
-        l2_hit = self.l2.access(addr, size,
-                                allocate=cache_op.allocates_l2)
-        if l2_hit:
-            return AccessResult(lat.l2_hit_clk + extra, MemLevel.L2, tlb_hit)
-        return AccessResult(
-            lat.l2_hit_clk + lat.dram_clk + extra, MemLevel.GLOBAL, tlb_hit
-        )
+        if cache_op.allocates_l1 and self.l1_for_sm(sm_id).access(
+                addr, size):
+            result = AccessResult(lat.l1_hit_clk + extra, MemLevel.L1,
+                                  tlb_hit)
+        elif self.l2.access(addr, size, allocate=cache_op.allocates_l2):
+            # (an L1 miss is filled through L2 on the way)
+            result = AccessResult(lat.l2_hit_clk + extra, MemLevel.L2,
+                                  tlb_hit)
+        else:
+            result = AccessResult(lat.l2_hit_clk + lat.dram_clk + extra,
+                                  MemLevel.GLOBAL, tlb_hit)
+        obs = self._obs
+        if obs.enabled:
+            level = result.level.value
+            obs.add("mem.loads")
+            obs.add(f"mem.bytes.{level}", size)
+            obs.add("mem.tlb.hits" if tlb_hit else "mem.tlb.misses")
+            obs.observe(f"mem.latency.{level}", result.latency_clk)
+        return result
 
     def load_many(
         self,
@@ -175,11 +188,27 @@ class MemoryHierarchy:
         ) + extra
         n_l1 = int(l1_hit.sum())
         n_l2 = int(l2_hit.sum())
+        n_tlb = int(tlb_hit.sum())
+        obs = self._obs
+        if obs.enabled and n:
+            counts = {MemLevel.L1: n_l1, MemLevel.L2: n_l2,
+                      MemLevel.GLOBAL: n - n_l1 - n_l2}
+            obs.add("mem.loads", n)
+            obs.add("mem.tlb.hits", n_tlb)
+            obs.add("mem.tlb.misses", n - n_tlb)
+            served = {MemLevel.L1: l1_hit,
+                      MemLevel.L2: l2_hit & ~l1_hit,
+                      MemLevel.GLOBAL: ~(l1_hit | l2_hit)}
+            for lvl, cnt in counts.items():
+                if cnt:
+                    obs.add(f"mem.bytes.{lvl.value}", cnt * size)
+                    obs.observe_many(f"mem.latency.{lvl.value}",
+                                     latency[served[lvl]])
         return BatchAccessResult(
             latency_clk=latency,
             level_counts={MemLevel.L1: n_l1, MemLevel.L2: n_l2,
                           MemLevel.GLOBAL: n - n_l1 - n_l2},
-            tlb_hits=int(tlb_hit.sum()),
+            tlb_hits=n_tlb,
         )
 
     def _tlb_access_many(self, addrs: np.ndarray) -> np.ndarray:

@@ -1,0 +1,50 @@
+"""``repro.obs`` — hardware-counter metrics and structured tracing.
+
+A zero-overhead-when-off instrumentation layer modeled on GPU profiler
+counters: :mod:`repro.obs.counters` is the counter bank (cache
+hits/misses/evictions per level, SM issue and stall slots, bytes moved
+per memory path, tensor-core MAC counts), :mod:`repro.obs.trace` is
+the span/event tracer with Chrome-trace/Perfetto export, and
+:mod:`repro.obs.session` binds both to a run — activated by the
+``--counters``/``--trace`` CLI flags and the ``hopperdissect stats``
+subcommand, aggregated deterministically across the process-pool
+runner.
+
+This package is an import leaf: it depends only on the standard
+library (NumPy lazily), so every simulator layer can instrument
+itself without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import (
+    NULL_COUNTERS,
+    CounterSet,
+    NullCounterSet,
+    bucket_bound,
+    bucket_label,
+)
+from repro.obs.session import (
+    ObsSession,
+    active,
+    active_counters,
+    active_tracer,
+    counters_or_null,
+)
+from repro.obs.trace import SIM_TRACK, WALL_TRACK, Tracer
+
+__all__ = [
+    "CounterSet",
+    "NullCounterSet",
+    "NULL_COUNTERS",
+    "bucket_bound",
+    "bucket_label",
+    "Tracer",
+    "WALL_TRACK",
+    "SIM_TRACK",
+    "ObsSession",
+    "active",
+    "active_counters",
+    "active_tracer",
+    "counters_or_null",
+]

@@ -1,0 +1,171 @@
+"""The observability session — activation, context wiring, transport.
+
+An :class:`ObsSession` owns one :class:`~repro.obs.counters.CounterSet`
+and (optionally) one :class:`~repro.obs.trace.Tracer` for the duration
+of a run.  Exactly one session is *active* per process at a time,
+published through the module-global :data:`ACTIVE`; instrumented code
+asks :func:`counters_or_null` / :func:`active_tracer` and pays a
+single ``None``/flag check when observability is off, keeping the
+default path byte-identical to an uninstrumented build.
+
+Wiring into the experiment stack:
+
+* :meth:`ObsSession.bind` chains the session onto a
+  :class:`~repro.core.context.RunContext`'s existing timing hook, so
+  every experiment completion lands as a wall-clock span plus an
+  ``exp.completed`` counter without the runner knowing about tracing.
+* The process-pool runner activates a **fresh nested session per
+  experiment** — in workers *and* on the serial path — and ships the
+  :meth:`dump` back with the result; the parent :meth:`merge`\\ s the
+  deltas in requested-name order.  Counters are integers, so the
+  grouping cannot change totals: serial and parallel runs produce
+  byte-identical counter dumps.
+
+Sessions activate as context managers and nest (the previous session
+is restored on exit), so a worker-side session composes with a
+CLI-level one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.counters import NULL_COUNTERS, CounterSet
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ObsSession",
+    "ACTIVE",
+    "active",
+    "active_counters",
+    "active_tracer",
+    "counters_or_null",
+]
+
+#: the process's active session (``None`` — the default — means off)
+ACTIVE: Optional["ObsSession"] = None
+
+
+def active() -> Optional["ObsSession"]:
+    """The active session, or ``None`` when observability is off."""
+    return ACTIVE
+
+
+def active_counters() -> Optional[CounterSet]:
+    s = ACTIVE
+    return s.counters if s is not None else None
+
+
+def counters_or_null() -> CounterSet:
+    """The active session's counters, else the shared null sink —
+    what hot constructors capture once and branch on ``.enabled``."""
+    s = ACTIVE
+    return s.counters if s is not None else NULL_COUNTERS
+
+
+def active_tracer() -> Optional[Tracer]:
+    s = ACTIVE
+    return s.tracer if s is not None else None
+
+
+class ObsSession:
+    """One run's worth of counters and (optionally) trace events."""
+
+    def __init__(self, *, trace: bool = False) -> None:
+        self.counters = CounterSet()
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+
+    # -- activation ---------------------------------------------------------
+
+    @contextmanager
+    def activate(self):
+        """Publish this session as :data:`ACTIVE`; restores the
+        previous session (sessions nest) on exit."""
+        global ACTIVE
+        previous = ACTIVE
+        ACTIVE = self
+        try:
+            yield self
+        finally:
+            ACTIVE = previous
+
+    # -- RunContext wiring --------------------------------------------------
+
+    def bind(self, ctx):
+        """``ctx`` with this session chained onto its timing hook.
+
+        The hook receives ``(experiment_name, wall_seconds)`` after
+        each build; the session turns that into a completed span on
+        the wall track plus an ``exp.completed`` counter, then feeds
+        any pre-existing hook.  Wall durations never enter the
+        counters — counter dumps stay deterministic.
+        """
+        from dataclasses import replace
+
+        previous = ctx.hook
+
+        def hook(name: str, wall_s: float) -> None:
+            self.counters.add("exp.completed")
+            if self.tracer is not None:
+                now = self.tracer.now_us()
+                dur = wall_s * 1e6
+                self.tracer.complete(name, max(now - dur, 0.0), dur,
+                                     cat="experiment")
+            if previous is not None:
+                previous(name, wall_s)
+
+        return replace(ctx, hook=hook)
+
+    # -- transport ----------------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """The picklable delta a worker ships back with its result."""
+        return {
+            "counters": self.counters.as_dict(),
+            "events": list(self.tracer.events)
+            if self.tracer is not None else [],
+        }
+
+    def merge(self, dump: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's (or nested session's) delta into this one."""
+        if not dump:
+            return
+        self.counters.merge(dump.get("counters", {}))
+        events = dump.get("events")
+        if events and self.tracer is not None:
+            self.tracer.merge(events)
+
+    # -- rendering ----------------------------------------------------------
+
+    def counters_table(self, title: str = "hardware counters"):
+        """The counter bank as a :class:`~repro.core.tables.Table`."""
+        from repro.core.tables import Table
+
+        table = Table(title, ["counter", "value"])
+        for name, value in self.counters.items():
+            table.add_row(name, value)
+        return table
+
+    def render_counters(self) -> str:
+        if not self.counters:
+            return "(no counters recorded)"
+        return self.counters_table().render()
+
+    # -- trace output -------------------------------------------------------
+
+    def write_trace(self, path) -> Optional[str]:
+        """Write the Chrome-trace JSON (or compact JSONL when ``path``
+        ends in ``.jsonl``); returns the written path or ``None`` when
+        tracing was off."""
+        if self.tracer is None:
+            return None
+        path = str(path)
+        if path.endswith(".jsonl"):
+            return str(self.tracer.write_jsonl(path))
+        return str(self.tracer.write_chrome(path))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        trace = len(self.tracer) if self.tracer is not None else "off"
+        return (f"<ObsSession: {len(self.counters)} counters, "
+                f"trace={trace}>")

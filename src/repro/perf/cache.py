@@ -51,6 +51,20 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.context import DEFAULT_CONTEXT, RunContext
 from repro.core.registry import ExperimentResult, get_experiment
+from repro.obs import session as _obs
+
+
+def _record_provenance(event: str, name: str) -> None:
+    """Feed the active observability session one result-cache event
+    (``result_cache.hit``/``miss``/``store`` counters + a marker)."""
+    sess = _obs.ACTIVE
+    if sess is None:
+        return
+    sess.counters.add(f"result_cache.{event}")
+    if sess.tracer is not None:
+        sess.tracer.instant(f"result_cache {event}: {name}",
+                            cat="result_cache",
+                            args={"experiment": name, "event": event})
 
 __all__ = ["ResultCache", "ResultCacheStats", "default_cache_dir",
            "source_digest", "device_digest", "dependency_cut"]
@@ -291,8 +305,10 @@ class ResultCache:
                 ValueError, AttributeError, ImportError):
             # missing, corrupt, or from an incompatible build: a miss
             self.stats.misses += 1
+            _record_provenance("miss", name)
             return None
         self.stats.hits += 1
+        _record_provenance("hit", name)
         return result
 
     def put(self, name: str, result: ExperimentResult,
@@ -322,6 +338,7 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        _record_provenance("store", name)
         return path
 
     def clear(self) -> int:

@@ -37,27 +37,44 @@ from repro.core.registry import (
     get_experiment,
     list_experiments,
 )
+from repro.obs import session as _obs
+from repro.obs.session import ObsSession
 from repro.perf.cache import ResultCache
 from repro.perf.profile import Profiler
 
 __all__ = ["RunReport", "run_experiments", "parallel_map"]
 
 
-def _run_one(task: Tuple[str, dict]) -> Tuple[str, object, tuple, float]:
+def _run_one(task: Tuple[str, dict, Optional[dict]]) \
+        -> Tuple[str, object, tuple, float, Optional[dict]]:
     """Worker entry point — must stay module-level for pickling.
 
     Importing :mod:`repro.core` on the worker side (re)populates the
     registry, so this also works under spawn-style process start
     methods where the child begins with a blank interpreter.
+
+    When observability is requested (``obs_cfg``), the experiment runs
+    under a **fresh nested session** and its counter/event delta ships
+    back with the result.  The same path runs in-process for serial
+    runs, so the parent merges per-experiment integer deltas in
+    requested-name order either way — which is what makes serial and
+    ``--jobs N`` counter dumps byte-identical.
     """
     import repro.core  # noqa: F401  (registers experiments)
 
-    name, ctx_payload = task
+    name, ctx_payload, obs_cfg = task
     ctx = RunContext.from_payload(ctx_payload)
     t0 = time.perf_counter()
-    result = get_experiment(name).run(ctx)
+    if obs_cfg is not None:
+        session = ObsSession(trace=bool(obs_cfg.get("trace")))
+        with session.activate():
+            result = get_experiment(name).run(ctx)
+        dump = session.dump()
+    else:
+        result = get_experiment(name).run(ctx)
+        dump = None
     wall = time.perf_counter() - t0
-    return name, result.table, tuple(result.checks), wall
+    return name, result.table, tuple(result.checks), wall, dump
 
 
 @dataclass(frozen=True)
@@ -113,8 +130,11 @@ def run_experiments(
 
     # 2. run the rest, fanned out if asked to
     if pending:
+        sess = _obs.ACTIVE
+        obs_cfg = ({"trace": sess.tracer is not None}
+                   if sess is not None else None)
         payload = ctx.to_payload()
-        tasks = [(name, payload) for name in pending]
+        tasks = [(name, payload, obs_cfg) for name in pending]
         if jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending))
@@ -122,7 +142,7 @@ def run_experiments(
                 outcomes = list(pool.map(_run_one, tasks))
         else:
             outcomes = [_run_one(task) for task in tasks]
-        for name, table, checks, wall in outcomes:
+        for name, table, checks, wall, dump in outcomes:
             res = ExperimentResult(
                 experiment=get_experiment(name),
                 table=table,
@@ -131,6 +151,8 @@ def run_experiments(
             )
             results[name] = res
             timings[name] = (wall, False)
+            if sess is not None and dump is not None:
+                sess.merge(dump)
             ctx.emit(name, wall)
             if cache is not None:
                 cache.put(name, res, ctx)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.arch import DeviceSpec
+from repro.obs import session as _obs
 from repro.sm.occupancy import BlockConfig, Occupancy, occupancy
 
 __all__ = ["KernelLaunch", "ScheduleResult", "schedule_blocks"]
@@ -100,6 +101,24 @@ def schedule_blocks(
     else:
         waves = math.ceil(launch.num_blocks / capacity)
         util = launch.num_blocks / (waves * capacity)
+    sess = _obs.ACTIVE
+    if sess is not None:
+        c = sess.counters
+        c.add("sm.schedule.launches")
+        c.add("sm.schedule.blocks", launch.num_blocks)
+        c.add("sm.schedule.waves", waves)
+        if launch.num_blocks % capacity:
+            c.add("sm.schedule.partial_waves")
+        if sess.tracer is not None:
+            sess.tracer.instant(
+                f"launch {launch.num_blocks}b on {device.name}",
+                cat="schedule",
+                args={"device": device.name,
+                      "blocks": launch.num_blocks,
+                      "blocks_per_sm": bps,
+                      "waves": waves,
+                      "cluster_size": launch.cluster_size,
+                      "utilization": round(util, 4)})
     return ScheduleResult(
         waves=waves, blocks_per_sm=bps, occupancy=occ, utilization=util
     )

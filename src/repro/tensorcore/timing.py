@@ -43,6 +43,27 @@ from repro.isa.mma import (
     WgmmaInstruction,
     mma_shapes,
 )
+from repro.obs import session as _obs
+
+
+def _record_tc_instruction(kind: str, device: DeviceSpec,
+                           instr) -> None:
+    """Feed the active observability session one tensor-core
+    instruction event (MAC counts + a per-instruction issue marker)."""
+    sess = _obs.ACTIVE
+    if sess is None:
+        return
+    c = sess.counters
+    c.add(f"tc.{kind}.instructions")
+    c.add(f"tc.{kind}.macs", int(instr.flops) // 2)
+    if sess.tracer is not None:
+        sess.tracer.instant(
+            f"{kind}.{instr.shape.modifier}", cat="tensorcore",
+            args={"device": device.name,
+                  "ab": instr.ab_type.name,
+                  "cd": instr.cd_type.name,
+                  "sparse": instr.sparse,
+                  "flops": int(instr.flops)})
 
 __all__ = ["MmaTiming", "WgmmaTiming", "TensorCoreTimingModel"]
 
@@ -119,6 +140,7 @@ class MmaTiming:
     def __post_init__(self) -> None:
         lowered = lower(self.instr, self.device.architecture)
         object.__setattr__(self, "_lowered", lowered)
+        _record_tc_instruction("mma", self.device, self.instr)
 
     # -- helpers ---------------------------------------------------------
 
@@ -240,6 +262,7 @@ class WgmmaTiming:
             raise UnsupportedInstruction(
                 f"{self.device.name} has no wgmma instructions"
             )
+        _record_tc_instruction("wgmma", self.device, self.instr)
 
     # -- latency ----------------------------------------------------------
 

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.isa.lowering import FunctionalUnit
+from repro.obs import session as _obs
+from repro.obs.trace import SIM_TRACK
 from repro.trace.isa import TraceInstr, WarpTrace
 
 __all__ = ["SmSimulator", "SimResult"]
@@ -92,6 +94,13 @@ class SmSimulator:
             *, max_cycles: float = 10_000_000.0) -> SimResult:
         if not warps:
             raise ValueError("need at least one warp")
+        # observability (None when off): issue/stall counters and
+        # per-issue events on the cycle-timestamped sim track
+        sess = _obs.ACTIVE
+        counters = sess.counters if sess is not None else None
+        tracer = sess.tracer if sess is not None else None
+        stall_scoreboard = 0
+        stall_pipe = 0
         states = [_WarpState(w, i) for i, w in enumerate(warps)]
         # round-robin warp → scheduler assignment
         owners: List[List[_WarpState]] = [
@@ -134,7 +143,7 @@ class SmSimulator:
         def scan(sid: int) -> bool:
             """One scheduler-cycle at `now`; re-arms the wake-up with
             the exact earliest cycle this scheduler can issue next."""
-            nonlocal issued
+            nonlocal issued, stall_scoreboard, stall_pipe
             candidates = sorted(
                 (s for s in owners[sid] if not s.done),
                 key=lambda s: s.last_issue,
@@ -160,12 +169,29 @@ class SmSimulator:
                         busy.get(instr.unit, 0.0) + instr.ii_clk
                     issued += 1
                     issued_here = True
+                    if tracer is not None:
+                        tracer.complete(
+                            instr.opcode, now, instr.ii_clk,
+                            cat="issue", pid=SIM_TRACK,
+                            tid=f"sched{sid}",
+                            args={"warp": s.index,
+                                  "unit": instr.unit.name,
+                                  "latency_clk": instr.latency_clk})
                     if key is instr.unit:   # booked the SM-wide LSU
                         stale.update(o for o in
                                      range(self.num_schedulers)
                                      if o != sid)
                 else:
                     next_avail = min(next_avail, avail)
+            if counters is not None and not issued_here and candidates:
+                # a scheduler slot went empty: blame the least-recently
+                # issued warp — scoreboard (operands in flight) or a
+                # busy pipe (II not yet drained)
+                top = candidates[0]
+                if top.ready_at() > now:
+                    stall_scoreboard += 1
+                else:
+                    stall_pipe += 1
             stale.discard(sid)
             if issued_here:
                 if any(not s.done for s in owners[sid]):
@@ -210,10 +236,23 @@ class SmSimulator:
                                    "ever become ready")
             now = max(heap[0][0], now + 1.0)
 
-        return SimResult(
+        result = SimResult(
             cycles=max(finish) if finish else 0.0,
             instructions=issued,
             unit_issue_counts=issue_counts,
             unit_busy_clk=busy,
             warp_finish_clk=finish,
         )
+        if counters is not None:
+            counters.add("sm.sim.runs")
+            counters.add("sm.sim.warps", len(states))
+            counters.add("sm.sim.instructions", issued)
+            counters.add("sm.sim.cycles", int(round(result.cycles)))
+            counters.add("sm.stall.scoreboard", stall_scoreboard)
+            counters.add("sm.stall.pipe_busy", stall_pipe)
+            for unit in sorted(issue_counts, key=lambda u: u.name):
+                label = unit.name.lower()
+                counters.add(f"sm.issue.{label}", issue_counts[unit])
+                counters.add(f"sm.busy_clk.{label}",
+                             int(round(busy[unit])))
+        return result

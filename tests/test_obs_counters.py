@@ -1,0 +1,128 @@
+"""Tests for the counter bank (repro.obs.counters)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.counters import (
+    NULL_COUNTERS,
+    CounterSet,
+    NullCounterSet,
+    bucket_bound,
+    bucket_label,
+)
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        c = CounterSet()
+        c.add("cache.l1.hits")
+        c.add("cache.l1.hits", 41)
+        assert c.get("cache.l1.hits") == 42
+        assert c.get("missing") == 0
+        assert c.get("missing", -1) == -1
+
+    def test_integers_only(self):
+        c = CounterSet()
+        c.add("x", 2.9)            # floats truncate, never accumulate
+        assert c.get("x") == 2
+        assert isinstance(c.get("x"), int)
+
+    def test_total_prefix(self):
+        c = CounterSet()
+        c.add("cache.l1.hits", 3)
+        c.add("cache.l1.tag_misses", 2)
+        c.add("cache.l2.hits", 7)
+        assert c.total("cache.l1.") == 5
+        assert c.total("cache.") == 12
+
+    def test_items_sorted(self):
+        c = CounterSet()
+        c.add("zz")
+        c.add("aa")
+        assert [k for k, _ in c.items()] == ["aa", "zz"]
+
+    def test_dump_canonical(self):
+        a = CounterSet()
+        a.add("b", 1)
+        a.add("a", 2)
+        b = CounterSet()
+        b.add("a", 2)
+        b.add("b", 1)
+        assert a.dump() == b.dump()
+        assert json.loads(a.dump()) == {"a": 2, "b": 1}
+
+    def test_merge_order_invariant(self):
+        deltas = [{"x": 1, "y": 5}, {"x": 3}, {"y": 2, "z": 9}]
+        fwd = CounterSet()
+        for d in deltas:
+            fwd.merge(d)
+        rev = CounterSet()
+        for d in reversed(deltas):
+            rev.merge(d)
+        assert fwd.dump() == rev.dump()
+
+    def test_merge_counterset(self):
+        a = CounterSet()
+        a.add("x", 2)
+        b = CounterSet()
+        b.add("x", 3)
+        a.merge(b)
+        assert a.get("x") == 5
+
+    def test_bool_len_clear(self):
+        c = CounterSet()
+        assert not c and len(c) == 0
+        c.add("x")
+        assert c and len(c) == 1
+        c.clear()
+        assert not c
+
+
+class TestHistogramBuckets:
+    @pytest.mark.parametrize("value,bound", [
+        (0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8),
+        (4.5, 8), (6.5, 8), (128, 128), (129, 256), (1000, 1024),
+    ])
+    def test_bucket_bound(self, value, bound):
+        assert bucket_bound(value) == bound
+
+    def test_bucket_label_zero_padded(self):
+        assert bucket_label("lat", 300) == "lat.le00000512"
+
+    def test_scalar_matches_vectorized(self):
+        """The doubling-loop scalar path and the log2 vectorized path
+        must land every value in the same bucket."""
+        values = [0.5, 1, 2, 3, 4, 4.5, 5, 31, 32, 33, 128, 129,
+                  273.25, 478.0, 1024, 1025]
+        scalar = CounterSet()
+        for v in values:
+            scalar.observe("lat", v)
+        vec = CounterSet()
+        vec.observe_many("lat", np.array(values))
+        assert scalar.dump() == vec.dump()
+
+    def test_observe_many_empty(self):
+        c = CounterSet()
+        c.observe_many("lat", np.array([]))
+        assert not c
+
+
+class TestNullCounterSet:
+    def test_all_mutators_noop(self):
+        n = NullCounterSet()
+        n.add("x", 5)
+        n.observe("y", 3.0)
+        n.observe_many("z", np.array([1.0, 2.0]))
+        n.merge({"w": 1})
+        assert not n and n.dump() == "{}"
+
+    def test_enabled_flags(self):
+        assert CounterSet().enabled is True
+        assert NULL_COUNTERS.enabled is False
+
+    def test_shared_singleton_is_null(self):
+        assert isinstance(NULL_COUNTERS, NullCounterSet)
