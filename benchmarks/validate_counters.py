@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Validate a ``--counters-json`` dump against its declared schema.
+
+Usage::
+
+    python benchmarks/validate_counters.py COUNTERS.json [MORE ...]
+
+Checks the ``hopperdissect.counters/v1`` shape written by
+:meth:`repro.obs.ObsSession.write_counters_json`:
+
+* top level is an object with exactly ``schema``, ``context`` and
+  ``counters`` keys;
+* ``schema`` is the version tag, ``context`` a run-context token
+  string or ``null``;
+* ``counters`` maps non-empty string names to non-negative integers
+  (the bank is monotonic — a negative total means a broken merge);
+* the file is canonical: re-serializing with sorted keys and compact
+  separators reproduces it byte-for-byte, so two equal counter states
+  always diff clean.
+
+Exit code 0 when every file validates; prints one summary line per
+file.  CI runs this as the counter-schema smoke step next to
+``validate_trace.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_SCHEMA = "hopperdissect.counters/v1"
+_KEYS = {"schema", "context", "counters"}
+
+
+def validate(path: Path) -> int:
+    raw = path.read_text()
+    payload = json.loads(raw)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: top level must be an object")
+    if set(payload) != _KEYS:
+        raise ValueError(
+            f"{path}: keys {sorted(payload)} != {sorted(_KEYS)}")
+    if payload["schema"] != _SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload['schema']!r} != {_SCHEMA!r}")
+    ctx = payload["context"]
+    if ctx is not None and not isinstance(ctx, str):
+        raise ValueError(f"{path}: context must be a string or null")
+    counters = payload["counters"]
+    if not isinstance(counters, dict):
+        raise ValueError(f"{path}: counters must be an object")
+    for name, value in counters.items():
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{path}: bad counter name {name!r}")
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            raise ValueError(
+                f"{path}: counter {name!r} has non-monotonic or "
+                f"non-integer value {value!r}")
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n"
+    if raw != canonical:
+        raise ValueError(
+            f"{path}: not in canonical form (sorted keys, compact "
+            "separators, trailing newline)")
+    return len(counters)
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: validate_counters.py COUNTERS [COUNTERS ...]",
+              file=sys.stderr)
+        return 2
+    for arg in argv:
+        n = validate(Path(arg))
+        print(f"{arg}: OK ({n} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -12,6 +12,7 @@ Subcommands::
     hopperdissect devices              # Table III
     hopperdissect report -o EXPERIMENTS.md
     hopperdissect run --all --counters # + hardware-counter table
+    hopperdissect run --all --counters-json c.json  # machine-readable
     hopperdissect run --all --trace t.json   # + Perfetto trace
     hopperdissect stats table04_mem_latency  # counter deep-dive
 
@@ -73,23 +74,30 @@ def _make_cache(args):
 
 
 def _make_obs(args):
-    """An :class:`~repro.obs.ObsSession` when ``--counters`` or
-    ``--trace`` asked for one, else ``None`` (instrumentation stays on
-    its null-object fast path)."""
-    if getattr(args, "counters", False) or getattr(args, "trace", None):
+    """An :class:`~repro.obs.ObsSession` when ``--counters``,
+    ``--counters-json`` or ``--trace`` asked for one, else ``None``
+    (instrumentation stays on its null-object fast path)."""
+    if (getattr(args, "counters", False)
+            or getattr(args, "counters_json", None)
+            or getattr(args, "trace", None)):
         from repro.obs import ObsSession
 
         return ObsSession(trace=bool(getattr(args, "trace", None)))
     return None
 
 
-def _finish_obs(session, args) -> None:
+def _finish_obs(session, args, context=None) -> None:
     """Print/serialize whatever the session collected."""
     if session is None:
         return
     if getattr(args, "counters", False):
         print(session.render_counters())
         print()
+    counters_path = getattr(args, "counters_json", None)
+    if counters_path:
+        session.write_counters_json(counters_path, context=context)
+        print(f"wrote {counters_path} "
+              f"({len(session.counters)} counters)")
     trace_path = getattr(args, "trace", None)
     if trace_path:
         session.write_trace(trace_path)
@@ -159,7 +167,7 @@ def _cmd_run(args) -> int:
         print(res.render())
         print()
         failed += sum(1 for c in res.checks if not c.passed)
-    _finish_obs(session, args)
+    _finish_obs(session, args, context)
     if args.profile:
         print(report.profiler.render())
         bench_path = args.bench_json or "BENCH_perf.json"
@@ -199,7 +207,7 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}: {summary_line(results)}")
     else:
         print(md)
-    _finish_obs(session, args)
+    _finish_obs(session, args, context)
     return 0
 
 
@@ -226,6 +234,11 @@ def _cmd_stats(args) -> int:
     print(res.render())
     print()
     print(session.render_counters())
+    if args.counters_json:
+        session.write_counters_json(args.counters_json,
+                                    context=context)
+        print(f"\nwrote {args.counters_json} "
+              f"({len(session.counters)} counters)")
     if args.trace:
         session.write_trace(args.trace)
         print(f"\nwrote {args.trace} "
@@ -260,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--counters", action="store_true",
                         help="collect hardware-style counters and "
                              "print the counter table")
+        sp.add_argument("--counters-json", default=None,
+                        metavar="PATH", dest="counters_json",
+                        help="dump the counter bank as canonical "
+                             "JSON (hopperdissect.counters/v1)")
         sp.add_argument("--trace", default=None, metavar="PATH",
                         help="write a structured trace (Chrome/"
                              "Perfetto JSON, or JSONL for .jsonl "
@@ -319,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("experiment",
                          help="experiment name (see `list`)")
     add_context_flags(stats_p)
+    stats_p.add_argument("--counters-json", default=None,
+                         metavar="PATH", dest="counters_json",
+                         help="also dump the counter bank as "
+                              "canonical JSON")
     stats_p.add_argument("--trace", default=None, metavar="PATH",
                          help="also write a structured trace")
     stats_p.set_defaults(fn=_cmd_stats)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.arch import get_device
 from repro.core.checks import Check, ratio_between
 from repro.core.context import RunContext
@@ -32,11 +34,15 @@ def fig03(ctx: RunContext) -> Tuple[Table, List[Check]]:
         "Fig 3: FP8 te.Linear operator time shares (H800)",
         ["N", "quantize_input %", "gemm %", "scale_out %"],
     )
+    # one vectorized pass prices the whole N sweep
+    ns = np.asarray(_NS)
+    parts = cm.linear_breakdown_batch(ns, ns, ns, Precision.FP8)
+    total = parts[0][1]
+    for _, s in parts[1:]:
+        total = total + s
     shares = {}
-    for n in _NS:
-        ops = cm.linear(n, n, n, Precision.FP8)
-        total = sum(o.seconds for o in ops)
-        share = {o.name: 100 * o.seconds / total for o in ops}
+    for i, n in enumerate(_NS):
+        share = {name: float(100 * s[i] / total[i]) for name, s in parts}
         shares[n] = share
         table.add_row(n, round(share.get("quantize_input", 0), 1),
                       round(share.get("gemm", 0), 1),
@@ -79,7 +85,8 @@ def fig04(ctx: RunContext) -> Tuple[Table, List[Check]]:
             if (prec is Precision.FP8
                     and not get_device(d).architecture.has_fp8):
                 continue
-            row = [cm.linear_tflops(n, prec) for n in _NS]
+            row = [float(v) for v in
+                   cm.linear_tflops_batch(np.asarray(_NS), prec)]
             data[(d, prec)] = dict(zip(_NS, row))
             table.add_row(d, prec.name, *(round(v, 1) for v in row))
 
@@ -131,7 +138,8 @@ def fig05(ctx: RunContext) -> Tuple[Table, List[Check]]:
             for h in hiddens:
                 layer = TransformerLayer(
                     TransformerLayerConfig.PAPER_CONFIGS[h])
-                row.append(layer.latency_ms(cm, precision=prec))
+                row.append(float(layer.latency_ms_grid(
+                    cm, precision=prec)))
             data[(d, prec)] = dict(zip(hiddens, row))
             table.add_row(d, prec.name, *(round(v, 3) for v in row))
 

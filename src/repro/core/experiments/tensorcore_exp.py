@@ -91,21 +91,28 @@ def table07(ctx: RunContext) -> Tuple[Table, List[Check]]:
             f"{d} {k}" for d in devices for k in ("Dense", "Sparse")
         ],
     )
+    # one vectorized sweep per device prices the whole grid
+    combos = [(ab, cd, shape)
+              for ab, cd, shapes in _MMA_GRID for shape in shapes]
+    sweeps = {
+        d: TensorCoreTimingModel(get_device(d)).mma_sweep(
+            [_mma_instr(ab, cd, shape, sparse)
+             for ab, cd, shape in combos for sparse in (False, True)])
+        for d in devices
+    }
     data = {}
-    for ab, cd, shapes in _MMA_GRID:
-        for shape in shapes:
-            cells = []
-            for d in devices:
-                tm = TensorCoreTimingModel(get_device(d))
-                dd = tm.mma(_mma_instr(ab, cd, shape, False))
-                sp = tm.mma(_mma_instr(ab, cd, shape, True))
-                data[(ab, cd, shape, d)] = (dd, sp)
-                cells += [
-                    f"{dd.latency_clk:.1f}/{dd.throughput_tflops():.1f}",
-                    f"{sp.latency_clk:.1f}/{sp.throughput_tflops():.1f}",
-                ]
-            table.add_row(ab.paper_label, cd.paper_label,
-                          f"m{shape[0]}n{shape[1]}k{shape[2]}", *cells)
+    for j, (ab, cd, shape) in enumerate(combos):
+        cells = []
+        for d in devices:
+            dd = sweeps[d][2 * j]
+            sp = sweeps[d][2 * j + 1]
+            data[(ab, cd, shape, d)] = (dd, sp)
+            cells += [
+                f"{dd.latency_clk:.1f}/{dd.throughput_tflops():.1f}",
+                f"{sp.latency_clk:.1f}/{sp.throughput_tflops():.1f}",
+            ]
+        table.add_row(ab.paper_label, cd.paper_label,
+                      f"m{shape[0]}n{shape[1]}k{shape[2]}", *cells)
 
     checks: List[Check] = []
     # larger shapes achieve higher throughput on A100/H800, not Ada
@@ -181,14 +188,13 @@ def table07(ctx: RunContext) -> Tuple[Table, List[Check]]:
 
 def _wgmma_rows(device: str, sparse: bool):
     tm = TensorCoreTimingModel(get_device(device))
-    rows = {}
-    for ab, cd in _WGMMA_PAIRS:
-        ss = tm.wgmma(WgmmaInstruction(
-            ab, cd, 256, sparse=sparse, a_source=OperandSource.SHARED))
-        rs = tm.wgmma(WgmmaInstruction(
-            ab, cd, 256, sparse=sparse, a_source=OperandSource.REGISTER))
-        rows[(ab, cd)] = (ss, rs)
-    return rows
+    sweep = tm.wgmma_sweep([
+        WgmmaInstruction(ab, cd, 256, sparse=sparse, a_source=src)
+        for ab, cd in _WGMMA_PAIRS
+        for src in (OperandSource.SHARED, OperandSource.REGISTER)
+    ])
+    return {pair: (sweep[2 * i], sweep[2 * i + 1])
+            for i, pair in enumerate(_WGMMA_PAIRS)}
 
 
 @register(
@@ -298,18 +304,22 @@ def table10(ctx: RunContext) -> Tuple[Table, List[Check]]:
         ["N", "Dense SS (LAT/Thpt)", "Dense RS (LAT/Thpt)",
          "Sparse SS (LAT/Thpt)", "Sparse RS (LAT/Thpt)"],
     )
-    grid = {}
+    combos = [(n, sparse, src)
+              for n in ns for sparse in (False, True)
+              for src in (OperandSource.SHARED, OperandSource.REGISTER)]
+    sweep = tm.wgmma_sweep([
+        WgmmaInstruction(DType.FP16, DType.FP32, n, sparse=sparse,
+                         a_source=src)
+        for n, sparse, src in combos
+    ])
+    grid = {c: sweep[i] for i, c in enumerate(combos)}
     for n in ns:
-        cells = []
-        for sparse in (False, True):
-            for src in (OperandSource.SHARED, OperandSource.REGISTER):
-                t = tm.wgmma(WgmmaInstruction(
-                    DType.FP16, DType.FP32, n, sparse=sparse,
-                    a_source=src))
-                grid[(n, sparse, src)] = t
-                cells.append(
-                    f"{t.latency_clk:.1f}/{t.throughput_tflops():.1f}"
-                )
+        cells = [
+            f"{t.latency_clk:.1f}/{t.throughput_tflops():.1f}"
+            for sparse in (False, True)
+            for src in (OperandSource.SHARED, OperandSource.REGISTER)
+            for t in (grid[(n, sparse, src)],)
+        ]
         table.add_row(n, cells[0], cells[1], cells[2], cells[3])
 
     peak = dev.tc_peak_tflops("fp16")
@@ -362,14 +372,19 @@ def table11(ctx: RunContext) -> Tuple[Table, List[Check]]:
         ["A/B", "C/D", "T"] + [f"{d} {m}" for d in devices
                                for m in ("P", "E")],
     )
+    sweeps = {
+        d: TensorCoreTimingModel(get_device(d)).mma_sweep(
+            [_mma_instr(ab, cd, shape, sparse)
+             for ab, cd, shape in grid for sparse in (False, True)])
+        for d in devices
+    }
     eff = {}
-    for ab, cd, shape in grid:
+    for gi, (ab, cd, shape) in enumerate(grid):
         for sparse in (False, True):
             cells = []
             for d in devices:
                 dev = get_device(d)
-                t = TensorCoreTimingModel(dev).mma(
-                    _mma_instr(ab, cd, shape, sparse))
+                t = sweeps[d][2 * gi + (1 if sparse else 0)]
                 rep = PowerModel(dev).report(
                     op="mma", ab=ab, cd=cd,
                     tflops=t.throughput_tflops("rand"), sparse=sparse,

@@ -7,8 +7,9 @@ shape checks that verify the paper's findings on it.
 Builders are **context-parameterized**: they take a
 :class:`~repro.core.context.RunContext` and draw their device list,
 seed and fidelity tier from it instead of hardcoding the paper's
-testbed.  Legacy zero-argument builders still register (a shim adapts
-them) but emit a :class:`DeprecationWarning`.
+testbed.  Zero-argument builders are no longer accepted —
+:func:`register` raises a :class:`TypeError` (the adapter shim warned
+via ``DeprecationWarning`` for two releases before being removed).
 """
 
 from __future__ import annotations
@@ -16,7 +17,6 @@ from __future__ import annotations
 import difflib
 import inspect
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -120,10 +120,7 @@ class Experiment:
                 f"only provides {list(ctx.devices)}"
             )
         t0 = time.perf_counter()
-        if _accepts_context(self.builder):
-            table, checks = self.builder(ctx)
-        else:       # legacy zero-argument builder
-            table, checks = self.builder()
+        table, checks = self.builder(ctx)
         ctx.emit(self.name, time.perf_counter() - t0)
         return ExperimentResult(self, table, tuple(checks), context=ctx)
 
@@ -136,21 +133,22 @@ def register(name: str, paper_ref: str, description: str, *,
              devices_any: Optional[Tuple[str, ...]] = None):
     """Decorator registering a builder function as an experiment.
 
-    The builder should accept a :class:`RunContext`; zero-argument
-    builders are wrapped for back-compatibility and warn.  ``devices``
-    requires every named device in the context; ``devices_any``
-    requires at least one (for builders that adapt their sweep).
+    The builder must accept a :class:`RunContext` as its positional
+    parameter; registering a zero-argument builder raises
+    :class:`TypeError` (the back-compat shim was removed after its
+    deprecation period).  ``devices`` requires every named device in
+    the context; ``devices_any`` requires at least one (for builders
+    that adapt their sweep).
     """
 
     def deco(fn: Builder):
         if name in _REGISTRY:
             raise ValueError(f"experiment {name!r} already registered")
         if not _accepts_context(fn):
-            warnings.warn(
+            raise TypeError(
                 f"experiment {name!r} registered a zero-argument "
-                "builder; builders should take a RunContext "
-                "(device sweeps and seeds cannot reach this one)",
-                DeprecationWarning, stacklevel=2,
+                "builder; builders must take a RunContext "
+                "(the legacy zero-arg shim has been removed)"
             )
         _REGISTRY[name] = Experiment(
             name=name, paper_ref=paper_ref,

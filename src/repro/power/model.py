@@ -109,6 +109,13 @@ class PowerModel:
             key, _DEFAULT_PJ
         )
 
+    def energy_pj(self, op: OpKind, ab: DType, cd: DType,
+                  sparse: bool) -> float:
+        """Calibrated pJ per physical MAC for one instruction kind —
+        the per-element lookup the vectorized sweep packs into an
+        array before calling :meth:`throttle_scale_many`."""
+        return self._energy_pj(op, ab, cd, sparse)
+
     def dynamic_watts(
         self,
         *,
@@ -165,6 +172,31 @@ class PowerModel:
         if dyn <= budget or dyn == 0.0:
             return 1.0
         return budget / dyn
+
+    def throttle_scale_many(self, *, energies_pj, tflops, sparse,
+                            operand_bytes_per_s):
+        """Vectorized :meth:`throttle_scale` over instruction batches.
+
+        ``energies_pj`` carries the pre-gathered per-instruction
+        :meth:`energy_pj` lookups; the remaining arguments are arrays
+        broadcastable against it.  Elementwise arithmetic mirrors the
+        scalar method operation-for-operation, so the returned scales
+        are bit-identical to a per-instruction loop.
+        """
+        import numpy as np
+
+        energies_pj = np.asarray(energies_pj, dtype=np.float64)
+        tflops = np.asarray(tflops, dtype=np.float64)
+        sparse = np.asarray(sparse, dtype=bool)
+        operand_bytes_per_s = np.asarray(operand_bytes_per_s,
+                                         dtype=np.float64)
+        physical_macs = tflops * 1e12 / np.where(sparse, 4.0, 2.0)
+        dyn = (energies_pj * physical_macs
+               + _SMEM_PJ_PER_BYTE * operand_bytes_per_s) * 1e-12
+        budget = max(self.device.power_cap_watts - self.idle_watts, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            throttled = budget / dyn
+        return np.where((dyn <= budget) | (dyn == 0.0), 1.0, throttled)
 
     # -- Table XI -------------------------------------------------------------
 

@@ -19,16 +19,32 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.arch import DeviceSpec
 from repro.isa.dtypes import DType
+from repro.obs import session as _obs
 from repro.tensorcore.timing import TensorCoreTimingModel
 
 __all__ = ["Precision", "OpCost", "CostModel"]
 
 #: per-kernel launch + framework dispatch overhead, seconds
 _KERNEL_LAUNCH_S = 8e-6
+
+#: an ordered operator breakdown priced over a whole grid at once
+OpSecondsGrid = List[Tuple[str, np.ndarray]]
+
+
+def _record_te_op(name: str, n: int = 1) -> None:
+    """Count one priced TE operator (``te.op.<name>``) against the
+    active observability session.  Batched pricers pass the grid size
+    as ``n`` — integer counters sum commutatively, so scalar and
+    vectorized walks over the same grid produce identical deltas."""
+    sess = _obs.ACTIVE
+    if sess is not None:
+        sess.counters.add(f"te.op.{name}", n)
 
 
 class Precision(enum.Enum):
@@ -120,6 +136,7 @@ class CostModel:
         compute = flops / (self.gemm_tflops(precision) * 1e12 * efficiency)
         io_bytes = precision.bytes * (m * k + k * n) + 4.0 * m * n
         io = io_bytes / self.membw_bytes_per_s
+        _record_te_op(name)
         return OpCost(name, max(compute, io) + self.launch_overhead_s,
                       flops=flops, bytes=io_bytes)
 
@@ -128,6 +145,7 @@ class CostModel:
         """A bandwidth-bound kernel moving ``nbytes`` total."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        _record_te_op(name)
         return OpCost(
             name,
             nbytes / self.membw_bytes_per_s
@@ -178,4 +196,96 @@ class CostModel:
         """The Fig 4 metric: achieved GFLOPS of an N×N×N te.Linear,
         reported in TFLOPS here."""
         secs = self.linear_seconds(n, n, n, precision, **kw)
+        return 2.0 * n ** 3 / secs / 1e12
+
+    # -- batched pricing --------------------------------------------------------
+    #
+    # The vectorized fast paths: arrays in, arrays out, one NumPy pass
+    # over a whole grid of problem sizes.  Every elementwise expression
+    # mirrors its scalar counterpart operation-for-operation, so the
+    # results are bit-identical to looping the scalar methods
+    # (property-tested in tests/test_vectorized_equivalence.py).
+
+    def gemm_seconds_batch(self, m, n, k, precision: Precision, *,
+                           name: str = "gemm",
+                           efficiency: float = 0.85) -> np.ndarray:
+        """Vectorized :meth:`gemm` (seconds only) over size arrays."""
+        m = np.asarray(m, dtype=np.float64)
+        n = np.asarray(n, dtype=np.float64)
+        k = np.asarray(k, dtype=np.float64)
+        if np.minimum(np.minimum(m, n), k).min() <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        flops = 2.0 * m * n * k
+        compute = flops / (self.gemm_tflops(precision) * 1e12 * efficiency)
+        io_bytes = precision.bytes * (m * k + k * n) + 4.0 * m * n
+        io = io_bytes / self.membw_bytes_per_s
+        out = np.maximum(compute, io) + self.launch_overhead_s
+        _record_te_op(name, out.size)
+        return out
+
+    def elementwise_seconds_batch(self, nbytes, *,
+                                  name: str = "elementwise",
+                                  launches: int = 1) -> np.ndarray:
+        """Vectorized :meth:`elementwise` (seconds only)."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        if nbytes.min() < 0:
+            raise ValueError("nbytes must be non-negative")
+        out = (nbytes / self.membw_bytes_per_s
+               + launches * self.launch_overhead_s)
+        _record_te_op(name, out.size)
+        return out
+
+    def cast_to_fp8_seconds_batch(self, elements, src_bytes: float = 2.0,
+                                  *, name: str = "cast_fp8") -> np.ndarray:
+        elements = np.asarray(elements, dtype=np.float64)
+        nbytes = elements * (2 * src_bytes + 1.0)
+        return self.elementwise_seconds_batch(nbytes, name=name,
+                                              launches=2)
+
+    def scale_output_seconds_batch(self, elements, out_bytes: float = 2.0,
+                                   *, name: str = "scale_out"
+                                   ) -> np.ndarray:
+        elements = np.asarray(elements, dtype=np.float64)
+        return self.elementwise_seconds_batch(elements * 2 * out_bytes,
+                                              name=name)
+
+    def linear_breakdown_batch(self, m, n, k, precision: Precision, *,
+                               cache_weight_cast: bool = True,
+                               include_overheads: bool = True
+                               ) -> OpSecondsGrid:
+        """Vectorized :meth:`linear`: the same operator list, in the
+        same order, with each operator's seconds priced over the whole
+        (m, n, k) grid at once."""
+        m = np.asarray(m, dtype=np.float64)
+        n = np.asarray(n, dtype=np.float64)
+        k = np.asarray(k, dtype=np.float64)
+        parts: OpSecondsGrid = []
+        if precision is Precision.FP8 and include_overheads:
+            parts.append(("quantize_input", self.cast_to_fp8_seconds_batch(
+                m * k, name="quantize_input")))
+            if not cache_weight_cast:
+                parts.append(("quantize_weight",
+                              self.cast_to_fp8_seconds_batch(
+                                  k * n, name="quantize_weight")))
+        parts.append(("gemm", self.gemm_seconds_batch(m, n, k, precision)))
+        if precision is Precision.FP8 and include_overheads:
+            parts.append(("scale_out",
+                          self.scale_output_seconds_batch(m * n)))
+        return parts
+
+    def linear_seconds_batch(self, m, n, k, precision: Precision,
+                             **kw) -> np.ndarray:
+        parts = self.linear_breakdown_batch(m, n, k, precision, **kw)
+        total = parts[0][1]
+        for _, s in parts[1:]:
+            # sequential accumulation in list order — matches the
+            # scalar sum() exactly (np.sum would pair-wise reorder)
+            total = total + s
+        return total
+
+    def linear_tflops_batch(self, n, precision: Precision,
+                            **kw) -> np.ndarray:
+        """Vectorized :meth:`linear_tflops` over an array of sizes."""
+        n = np.asarray(n, dtype=np.float64)
+        secs = self.linear_seconds_batch(n, n, n, precision, **kw)
         return 2.0 * n ** 3 / secs / 1e12

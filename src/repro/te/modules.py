@@ -22,7 +22,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.numerics import E4M3, FP16, BF16, quantize_fp8
-from repro.te.cost import CostModel, OpCost, Precision
+from repro.te.cost import (
+    CostModel,
+    OpCost,
+    OpSecondsGrid,
+    Precision,
+    _record_te_op,
+)
 
 __all__ = [
     "fp8_autocast",
@@ -72,6 +78,39 @@ class Module:
                 precision: Precision) -> float:
         return sum(o.seconds for o in
                    self.op_costs(cost_model, tokens, precision))
+
+    # -- batched pricing ----------------------------------------------------
+    #
+    # ``op_seconds_grid`` is the vectorized twin of ``op_costs``: the
+    # same operator names in the same order, each priced over a whole
+    # array of token counts in one NumPy pass.  The scalar walk above
+    # stays as the reference implementation the grid is property-tested
+    # against (tests/test_vectorized_equivalence.py).
+
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision, **kw) -> OpSecondsGrid:
+        raise NotImplementedError
+
+    def seconds_grid(self, cost_model: CostModel, tokens,
+                     precision: Precision, **kw) -> np.ndarray:
+        parts = self.op_seconds_grid(cost_model, tokens, precision,
+                                     **kw)
+        total = parts[0][1]
+        for _, s in parts[1:]:
+            # sequential, list-ordered accumulation — bit-identical to
+            # the scalar sum() over op_costs
+            total = total + s
+        return total
+
+    def seconds_grid_scalar(self, cost_model: CostModel, tokens,
+                            precision: Precision, **kw) -> np.ndarray:
+        """Reference: price every grid point through the scalar
+        ``op_costs`` walk (slow; exists to cross-check the grid)."""
+        tokens = np.asarray(tokens)
+        flat = [sum(o.seconds for o in
+                    self.op_costs(cost_model, int(t), precision, **kw))
+                for t in tokens.ravel()]
+        return np.array(flat).reshape(tokens.shape)
 
 
 def _working_quantize(x: np.ndarray, precision: Precision) -> np.ndarray:
@@ -158,6 +197,11 @@ class Linear(Module):
         return cost_model.linear(tokens, self.out_features,
                                  self.in_features, precision)
 
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision) -> OpSecondsGrid:
+        return cost_model.linear_breakdown_batch(
+            tokens, self.out_features, self.in_features, precision)
+
 
 class LayerNorm(Module):
     """Standard layer normalisation (never FP8 in TE)."""
@@ -179,6 +223,13 @@ class LayerNorm(Module):
         nbytes = tokens * self.features * 2 * precision.bytes
         return [cost_model.elementwise(nbytes, name="layernorm")]
 
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision) -> OpSecondsGrid:
+        tokens = np.asarray(tokens, dtype=np.float64)
+        nbytes = tokens * self.features * 2 * precision.bytes
+        return [("layernorm", cost_model.elementwise_seconds_batch(
+            nbytes, name="layernorm"))]
+
 
 class RMSNorm(Module):
     """Root-mean-square normalisation (Llama's choice, §III-C2)."""
@@ -197,6 +248,13 @@ class RMSNorm(Module):
                  precision: Precision) -> List[OpCost]:
         nbytes = tokens * self.features * 2 * precision.bytes
         return [cost_model.elementwise(nbytes, name="rmsnorm")]
+
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision) -> OpSecondsGrid:
+        tokens = np.asarray(tokens, dtype=np.float64)
+        nbytes = tokens * self.features * 2 * precision.bytes
+        return [("rmsnorm", cost_model.elementwise_seconds_batch(
+            nbytes, name="rmsnorm"))]
 
 
 def swiglu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
@@ -262,6 +320,25 @@ class LayerNormMLP(Module):
                                  precision)
         return ops
 
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision) -> OpSecondsGrid:
+        tokens = np.asarray(tokens, dtype=np.float64)
+        parts = self.norm.op_seconds_grid(cost_model, tokens, precision)
+        fc1 = cost_model.linear_breakdown_batch(
+            tokens, self.fc1.out_features, self.hidden, precision)
+        if precision is Precision.FP8:
+            # fusion: the norm emits FP8 directly → drop fc1's input
+            # quantise kernel.
+            fc1 = [p for p in fc1 if p[0] != "quantize_input"]
+        parts += fc1
+        act_bytes = tokens * (self.fc1.out_features + self.ffn_hidden) \
+            * precision.bytes
+        parts.append((self.activation, cost_model.elementwise_seconds_batch(
+            act_bytes, name=self.activation)))
+        parts += cost_model.linear_breakdown_batch(
+            tokens, self.hidden, self.ffn_hidden, precision)
+        return parts
+
 
 class DotProductAttention(Module):
     """Flash-attention-style scaled dot-product attention.
@@ -298,11 +375,28 @@ class DotProductAttention(Module):
         # flash attention: IO is O(b·s·h), compute at FP16 TC rate
         gemm_rate = cost_model.gemm_tflops(Precision.FP16) * 1e12 * 0.6
         io = 4.0 * batch * seq * h * 2.0 / cost_model.membw_bytes_per_s
+        _record_te_op("attention")
         return [OpCost(
             "attention",
             max(flops / gemm_rate, io) + 2 * cost_model.launch_overhead_s,
             flops=flops,
         )]
+
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision, *, batch=1) -> OpSecondsGrid:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        batch = np.asarray(batch, dtype=np.int64)
+        seq = np.maximum(tokens // np.maximum(batch, 1), 1
+                         ).astype(np.float64)
+        b = batch.astype(np.float64)
+        h = self.num_heads * self.head_dim
+        flops = 4.0 * b * seq * seq * h
+        gemm_rate = cost_model.gemm_tflops(Precision.FP16) * 1e12 * 0.6
+        io = 4.0 * b * seq * h * 2.0 / cost_model.membw_bytes_per_s
+        secs = (np.maximum(flops / gemm_rate, io)
+                + 2 * cost_model.launch_overhead_s)
+        _record_te_op("attention", secs.size)
+        return [("attention", secs)]
 
 
 @dataclass(frozen=True)
@@ -387,6 +481,22 @@ class TransformerLayer(Module):
         ops.append(cost_model.elementwise(res_bytes, name="residual"))
         return ops
 
+    def op_seconds_grid(self, cost_model: CostModel, tokens,
+                        precision: Precision, *, batch=4) -> OpSecondsGrid:
+        tokens = np.asarray(tokens)
+        parts = self.input_norm.op_seconds_grid(cost_model, tokens,
+                                                precision)
+        parts += self.qkv.op_seconds_grid(cost_model, tokens, precision)
+        parts += self.attention.op_seconds_grid(cost_model, tokens,
+                                                precision, batch=batch)
+        parts += self.proj.op_seconds_grid(cost_model, tokens, precision)
+        parts += self.mlp.op_seconds_grid(cost_model, tokens, precision)
+        res_bytes = 2 * tokens.astype(np.float64) \
+            * self.config.hidden_size * 2 * precision.bytes
+        parts.append(("residual", cost_model.elementwise_seconds_batch(
+            res_bytes, name="residual")))
+        return parts
+
     def latency_ms(self, cost_model: CostModel, *, batch: int = 4,
                    seq: int = 512,
                    precision: Precision = Precision.FP16) -> float:
@@ -396,3 +506,15 @@ class TransformerLayer(Module):
             o.seconds for o in self.op_costs(cost_model, tokens,
                                              precision, batch=batch)
         )
+
+    def latency_ms_grid(self, cost_model: CostModel, *, batch=4,
+                        seq=512,
+                        precision: Precision = Precision.FP16
+                        ) -> np.ndarray:
+        """Vectorized :meth:`latency_ms` over a (batch, seq) grid —
+        ``batch`` and ``seq`` broadcast against each other."""
+        batch = np.asarray(batch, dtype=np.int64)
+        seq = np.asarray(seq, dtype=np.int64)
+        tokens = batch * seq
+        return 1e3 * self.seconds_grid(cost_model, tokens, precision,
+                                       batch=batch)

@@ -32,8 +32,12 @@ from repro.tensorcore.sparse import (
     sparsity_pattern_valid,
 )
 from repro.tensorcore.timing import (
+    MmaSweep,
     MmaTiming,
+    ScalarTensorCoreTimingModel,
+    SweepEntry,
     TensorCoreTimingModel,
+    WgmmaSweep,
     WgmmaTiming,
 )
 from repro.tensorcore.gemm import TiledGemm, GemmReport
@@ -47,7 +51,11 @@ __all__ = [
     "decompress_2_4",
     "SparseOperand",
     "sparsity_pattern_valid",
+    "ScalarTensorCoreTimingModel",
     "TensorCoreTimingModel",
+    "SweepEntry",
+    "MmaSweep",
+    "WgmmaSweep",
     "MmaTiming",
     "WgmmaTiming",
     "TiledGemm",

@@ -56,6 +56,7 @@ class TiledGemm:
             self._tile = MmaInstruction(
                 ab_type, cd_type, mma_shapes(ab_type)[-1]
             )
+        self._tile_tflops: Optional[float] = None
 
     @property
     def tile_shape(self):
@@ -97,6 +98,13 @@ class TiledGemm:
         )
 
     def _best_tflops(self) -> float:
-        if isinstance(self._tile, WgmmaInstruction):
-            return self.timing.wgmma(self._tile).throughput_tflops("rand")
-        return self.timing.mma(self._tile).throughput_tflops("rand")
+        # The tile instruction is fixed at construction; price it once
+        # and reuse across run() calls (the TE Linear path issues many
+        # GEMMs through one executor).
+        if self._tile_tflops is None:
+            if isinstance(self._tile, WgmmaInstruction):
+                t = self.timing.wgmma(self._tile)
+            else:
+                t = self.timing.mma(self._tile)
+            self._tile_tflops = t.throughput_tflops("rand")
+        return self._tile_tflops

@@ -32,7 +32,9 @@ Three mechanisms, composed:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal
+from typing import Dict, List, Literal, Sequence
+
+import numpy as np
 
 from repro.arch import Architecture, DeviceSpec
 from repro.isa.dtypes import DType
@@ -46,6 +48,16 @@ from repro.isa.mma import (
 from repro.obs import session as _obs
 
 
+def _tc_instant(tracer, kind: str, device: DeviceSpec, instr) -> None:
+    tracer.instant(
+        f"{kind}.{instr.shape.modifier}", cat="tensorcore",
+        args={"device": device.name,
+              "ab": instr.ab_type.name,
+              "cd": instr.cd_type.name,
+              "sparse": instr.sparse,
+              "flops": int(instr.flops)})
+
+
 def _record_tc_instruction(kind: str, device: DeviceSpec,
                            instr) -> None:
     """Feed the active observability session one tensor-core
@@ -57,15 +69,35 @@ def _record_tc_instruction(kind: str, device: DeviceSpec,
     c.add(f"tc.{kind}.instructions")
     c.add(f"tc.{kind}.macs", int(instr.flops) // 2)
     if sess.tracer is not None:
-        sess.tracer.instant(
-            f"{kind}.{instr.shape.modifier}", cat="tensorcore",
-            args={"device": device.name,
-                  "ab": instr.ab_type.name,
-                  "cd": instr.cd_type.name,
-                  "sparse": instr.sparse,
-                  "flops": int(instr.flops)})
+        _tc_instant(sess.tracer, kind, device, instr)
 
-__all__ = ["MmaTiming", "WgmmaTiming", "TensorCoreTimingModel"]
+
+def _record_tc_batch(kind: str, device: DeviceSpec,
+                     instrs: Sequence) -> None:
+    """Batched :func:`_record_tc_instruction`: one counter update per
+    sweep, per-instruction trace instants only when a tracer is live.
+    Counter totals are integer sums, so a sweep and the equivalent
+    per-instruction loop produce identical deltas."""
+    sess = _obs.ACTIVE
+    if sess is None or not instrs:
+        return
+    c = sess.counters
+    c.add(f"tc.{kind}.instructions", len(instrs))
+    c.add(f"tc.{kind}.macs",
+          sum(int(i.flops) // 2 for i in instrs))
+    if sess.tracer is not None:
+        for instr in instrs:
+            _tc_instant(sess.tracer, kind, device, instr)
+
+__all__ = [
+    "MmaTiming",
+    "WgmmaTiming",
+    "SweepEntry",
+    "MmaSweep",
+    "WgmmaSweep",
+    "ScalarTensorCoreTimingModel",
+    "TensorCoreTimingModel",
+]
 
 InitKind = Literal["zero", "rand"]
 
@@ -379,8 +411,16 @@ class WgmmaTiming:
         )
 
 
-class TensorCoreTimingModel:
-    """Factory tying a device to its instruction timings."""
+class ScalarTensorCoreTimingModel:
+    """Per-instruction reference factory.
+
+    This is the original (pre-vectorization) implementation: every
+    call prices exactly one instruction through the
+    :class:`MmaTiming`/:class:`WgmmaTiming` dataclasses.  It is kept
+    as the executable specification the batched
+    :class:`TensorCoreTimingModel` sweeps are property-tested against
+    (``tests/test_vectorized_equivalence.py``).
+    """
 
     def __init__(self, device: DeviceSpec) -> None:
         self.device = device
@@ -417,3 +457,245 @@ class TensorCoreTimingModel:
             # surface the canonical unsupported-precision error
             self.device.tensor_core.dense_peak(ab.peak_key)
             raise  # pragma: no cover - dense_peak raised above
+
+
+# --------------------------------------------------------------------------
+# vectorized sweeps
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One instruction's slice of a sweep — duck-compatible with the
+    ``latency_clk``/``throughput_tflops``/``fraction_of_peak`` surface
+    of :class:`MmaTiming`/:class:`WgmmaTiming`."""
+
+    latency_clk: float
+    issue_interval_clk: float
+    tflops_zero: float
+    tflops_rand: float
+    frac_zero: float
+    frac_rand: float
+
+    def throughput_tflops(self, init: InitKind = "zero") -> float:
+        return self.tflops_rand if init == "rand" else self.tflops_zero
+
+    def fraction_of_peak(self, init: InitKind = "zero") -> float:
+        return self.frac_rand if init == "rand" else self.frac_zero
+
+
+class _Sweep:
+    """Array-of-struct base for batched instruction timings."""
+
+    #: filled by subclass constructors
+    latency_clk: np.ndarray
+    issue_interval_clk: np.ndarray
+    _tflops_zero: np.ndarray
+    _tflops_rand: np.ndarray
+    _frac_zero: np.ndarray
+    _frac_rand: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.latency_clk)
+
+    def __getitem__(self, i: int) -> SweepEntry:
+        return SweepEntry(
+            latency_clk=float(self.latency_clk[i]),
+            issue_interval_clk=float(self.issue_interval_clk[i]),
+            tflops_zero=float(self._tflops_zero[i]),
+            tflops_rand=float(self._tflops_rand[i]),
+            frac_zero=float(self._frac_zero[i]),
+            frac_rand=float(self._frac_rand[i]),
+        )
+
+    def throughput_tflops(self, init: InitKind = "zero") -> np.ndarray:
+        return self._tflops_rand if init == "rand" else self._tflops_zero
+
+    def fraction_of_peak(self, init: InitKind = "zero") -> np.ndarray:
+        return self._frac_rand if init == "rand" else self._frac_zero
+
+
+class MmaSweep(_Sweep):
+    """Batched ``mma`` timings (one NumPy pass over the whole grid)."""
+
+    def __init__(self, device: DeviceSpec,
+                 instrs: Sequence[MmaInstruction]) -> None:
+        from repro.power import PowerModel
+
+        self.device = device
+        self.instructions = tuple(instrs)
+        arch = device.architecture
+        n = len(self.instructions)
+        pm = PowerModel(device)
+
+        # Pack per-instruction table lookups; all arithmetic below is
+        # elementwise float64 and mirrors MmaTiming op-for-op.
+        lat = np.empty(n)
+        eff = np.empty(n)
+        peak_rate = np.zeros(n)       # tc flops/clk/SM (0 off-TC)
+        peak_tflops = np.full(n, np.nan)
+        flops = np.empty(n)
+        icount = np.ones(n)
+        on_tc = np.zeros(n, dtype=bool)
+        ada_f32acc = np.zeros(n, dtype=bool)
+        sparse = np.zeros(n, dtype=bool)
+        energy = np.empty(n)
+        peak_cache: Dict = {}
+        for i, instr in enumerate(self.instructions):
+            lowered = lower(instr, arch)
+            tc = lowered.uses_tensor_core
+            on_tc[i] = tc
+            icount[i] = lowered.instruction_count
+            steps = instr.shape.k // mma_shapes(instr.ab_type)[0].k
+            sparse[i] = instr.sparse
+            flops[i] = instr.flops
+            slow_ada = (arch is Architecture.ADA
+                        and instr.cd_type is DType.FP32)
+            lat[i] = (_ADA_F32ACC_LATENCY[steps] if slow_ada
+                      else _MMA_LATENCY[arch][steps]) if tc else 0.0
+            eff[i] = (_MMA_EFFICIENCY[arch][instr.sparse][steps]
+                      if tc else 0.0)
+            ada_f32acc[i] = (
+                arch is Architecture.ADA
+                and instr.ab_type in (DType.FP16, DType.BF16)
+                and instr.cd_type is DType.FP32
+            )
+            key = (instr.ab_type.peak_key, instr.sparse)
+            if key not in peak_cache:
+                try:
+                    peak_cache[key] = (
+                        device.tc_flops_per_clk_sm(key[0],
+                                                   sparse=key[1]),
+                        device.tc_peak_tflops(key[0], sparse=key[1]),
+                    )
+                except KeyError:
+                    peak_cache[key] = (0.0, np.nan)
+            if tc:
+                peak_rate[i], peak_tflops[i] = peak_cache[key]
+            energy[i] = pm.energy_pj("mma", instr.ab_type,
+                                     instr.cd_type, instr.sparse)
+
+        self.latency_clk = np.where(on_tc, lat, 5.0 * icount)
+        rate = peak_rate * eff
+        rate = np.where(ada_f32acc, rate * _ADA_F32ACC_RATE, rate)
+        rate = np.where(on_tc, rate, _PIPES_PER_SM * 32 * 2 / 2.0)
+        self.throughput_flops_per_clk_sm = rate
+        self.issue_interval_clk = flops / (rate / _PIPES_PER_SM)
+        base = (rate * device.num_sms
+                * device.clocks.observed_hz / 1e12)
+        self._tflops_zero = base
+        scale = pm.throttle_scale_many(
+            energies_pj=energy, tflops=base, sparse=sparse,
+            operand_bytes_per_s=np.zeros(n))
+        self._tflops_rand = base * scale
+        with np.errstate(invalid="ignore"):
+            self._frac_zero = self._tflops_zero / peak_tflops
+            self._frac_rand = self._tflops_rand / peak_tflops
+        _record_tc_batch("mma", device, self.instructions)
+
+
+class WgmmaSweep(_Sweep):
+    """Batched ``wgmma`` timings (Hopper only)."""
+
+    def __init__(self, device: DeviceSpec,
+                 instrs: Sequence[WgmmaInstruction]) -> None:
+        from repro.power import PowerModel
+
+        if not device.architecture.has_wgmma:
+            raise UnsupportedInstruction(
+                f"{device.name} has no wgmma instructions"
+            )
+        self.device = device
+        self.instructions = tuple(instrs)
+        n = len(self.instructions)
+        pm = PowerModel(device)
+        smem = device.mem_widths.smem_bytes_per_clk_sm
+
+        nn = np.empty(n)
+        flops = np.empty(n)
+        peak_rate = np.empty(n)
+        peak_tflops = np.empty(n)
+        smem_bytes = np.empty(n)
+        operand_bytes = np.empty(n)
+        extra_a = np.empty(n)          # sparse-SS unpruned-A cycles
+        ss = np.zeros(n, dtype=bool)
+        sparse = np.zeros(n, dtype=bool)
+        energy = np.empty(n)
+        peak_cache: Dict = {}
+        for i, instr in enumerate(self.instructions):
+            nn[i] = instr.n
+            flops[i] = instr.flops
+            is_ss = instr.a_source is OperandSource.SHARED
+            ss[i] = is_ss
+            sparse[i] = instr.sparse
+            key = (instr.ab_type.peak_key, instr.sparse)
+            if key not in peak_cache:
+                peak_cache[key] = (
+                    device.tc_flops_per_clk_sm(key[0], sparse=key[1]),
+                    device.tc_peak_tflops(key[0], sparse=key[1]),
+                )
+            peak_rate[i], peak_tflops[i] = peak_cache[key]
+            smem_bytes[i] = instr.shared_memory_bytes()
+            b = smem_bytes[i]
+            if not is_ss:
+                a_bytes = instr.m * instr.k * instr.ab_type.bytes
+                meta = (instr.m * instr.k / 4.0) if instr.sparse else 0.0
+                b += a_bytes + meta
+            operand_bytes[i] = b
+            extra_a[i] = (instr.m * instr.k * instr.ab_type.bytes
+                          / smem)
+            energy[i] = pm.energy_pj("wgmma", instr.ab_type,
+                                     instr.cd_type, instr.sparse)
+
+        base = nn / 2.0
+        dense_lat = np.maximum(base, _WGMMA_MIN_LATENCY) \
+            + np.where(ss, _wgmma_ss_stall_array(nn), 0.0)
+        sparse_lat = np.where(
+            ss, base + extra_a,
+            np.maximum(base, _WGMMA_SPARSE_RS_FLOOR))
+        self.latency_clk = np.where(sparse, sparse_lat, dense_lat)
+        compute_interval = flops / (peak_rate * _WGMMA_COMPUTE_EFF)
+        self.compute_interval_clk = compute_interval
+        self.smem_interval_clk = smem_bytes / smem
+        self.issue_interval_clk = np.maximum(
+            self.latency_clk * _WGMMA_CHAIN_STRETCH, compute_interval)
+        rate = flops / self.issue_interval_clk
+        self.throughput_flops_per_clk_sm = rate
+        tz = (rate * device.num_sms
+              * device.clocks.observed_hz / 1e12)
+        self._tflops_zero = tz
+        operand_rate = (operand_bytes / self.issue_interval_clk
+                        * device.num_sms * device.clocks.observed_hz)
+        scale = pm.throttle_scale_many(
+            energies_pj=energy, tflops=tz, sparse=sparse,
+            operand_bytes_per_s=operand_rate)
+        self._tflops_rand = tz * scale
+        self._frac_zero = tz / peak_tflops
+        self._frac_rand = self._tflops_rand / peak_tflops
+        _record_tc_batch("wgmma", device, self.instructions)
+
+
+def _wgmma_ss_stall_array(n: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`_wgmma_ss_stall` with identical arithmetic."""
+    small = np.minimum(4.0 + n / 8.0, 8.0)
+    mid = 8.0 * (64 - n) / 32.0
+    return np.where(n >= 64, 0.0, np.where(n <= 32, small, mid))
+
+
+class TensorCoreTimingModel(ScalarTensorCoreTimingModel):
+    """The production timing model: per-instruction pricing plus
+    NumPy-batched :meth:`mma_sweep`/:meth:`wgmma_sweep` fast paths
+    that price a whole Table VII–X grid in one pass.
+
+    The sweeps are render-identical to the scalar reference — every
+    elementwise operation mirrors :class:`MmaTiming`/
+    :class:`WgmmaTiming` in the same order — and feed the same
+    ``tc.*`` observability counters in batched form.
+    """
+
+    def mma_sweep(self, instrs: Sequence[MmaInstruction]) -> MmaSweep:
+        return MmaSweep(self.device, instrs)
+
+    def wgmma_sweep(self,
+                    instrs: Sequence[WgmmaInstruction]) -> WgmmaSweep:
+        return WgmmaSweep(self.device, instrs)

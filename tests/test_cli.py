@@ -184,3 +184,98 @@ class TestContextFlags:
         assert all("table03_devices" in e["experiments"]
                    for e in entries)
         assert entries[0]["label"].startswith("devices=")
+
+
+class TestCountersJson:
+    """``--counters-json`` writes the hopperdissect.counters/v1 dump."""
+
+    @staticmethod
+    def _validator():
+        import importlib.util
+        from pathlib import Path
+        spec = importlib.util.spec_from_file_location(
+            "validate_counters",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "validate_counters.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_run_writes_schema_valid_dump(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "counters.json"
+        assert main(["run", "table07_mma", "--no-cache",
+                     "--counters-json", str(out)]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "hopperdissect.counters/v1"
+        assert payload["context"] == (
+            "devices=RTX4090,A100,H800;seed=0;fidelity=fast")
+        assert payload["counters"]["exp.completed"] == 1
+        assert payload["counters"]["tc.mma.instructions"] > 0
+        # keys arrive sorted (canonical form)
+        names = list(payload["counters"])
+        assert names == sorted(names)
+
+    def test_dump_passes_the_schema_validator(self, tmp_path):
+        out = tmp_path / "counters.json"
+        assert main(["run", "table03_devices", "--no-cache",
+                     "--counters-json", str(out)]) == 0
+        mod = self._validator()
+        assert mod.validate(out) >= 1
+
+    def test_validator_rejects_broken_dumps(self, tmp_path):
+        import json
+        from pathlib import Path
+        mod = self._validator()
+        bad = tmp_path / "bad.json"
+
+        def canonical(payload):
+            bad.write_text(json.dumps(
+                payload, sort_keys=True,
+                separators=(",", ":")) + "\n")
+
+        canonical({"schema": "hopperdissect.counters/v0",
+                   "context": None, "counters": {}})
+        with pytest.raises(ValueError, match="schema"):
+            mod.validate(Path(bad))
+        canonical({"schema": "hopperdissect.counters/v1",
+                   "context": None, "counters": {"x": -1}})
+        with pytest.raises(ValueError, match="non-monotonic"):
+            mod.validate(Path(bad))
+        canonical({"schema": "hopperdissect.counters/v1",
+                   "context": None, "counters": {"x": 1.5}})
+        with pytest.raises(ValueError, match="non-integer"):
+            mod.validate(Path(bad))
+        bad.write_text(json.dumps(
+            {"counters": {}, "context": None,
+             "schema": "hopperdissect.counters/v1"}, indent=2))
+        with pytest.raises(ValueError, match="canonical"):
+            mod.validate(Path(bad))
+
+    def test_context_token_recorded(self, tmp_path):
+        import json
+        out = tmp_path / "counters.json"
+        assert main(["run", "table04_mem_latency", "--no-cache",
+                     "--devices", "A100", "--counters-json",
+                     str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["context"].startswith("devices=A100")
+
+    def test_stats_subcommand_dump(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "stats_counters.json"
+        assert main(["stats", "table07_mma",
+                     "--counters-json", str(out)]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["counters"]["tc.mma.instructions"] > 0
+
+    def test_dump_is_deterministic_across_jobs(self, tmp_path):
+        # serial and parallel regroupings sum to identical banks
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path, jobs in ((a, "1"), (b, "2")):
+            assert main(["run", "table07_mma", "table06_sass",
+                         "--no-cache", "-j", jobs,
+                         "--counters-json", str(path)]) == 0
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,81 @@
+"""Golden snapshot tests pinning the rendered paper artefacts.
+
+The fixtures under ``tests/golden/`` were captured from the scalar
+(pre-vectorization) implementations of the tensor-core sweep and the
+Transformer-Engine cost walks.  Any drift — a reordered float
+operation, a changed format string, a perturbed calibration constant —
+fails here with a readable unified diff, so the vectorized fast paths
+are provably render-identical to the reference code they replaced.
+
+Regenerating a fixture is a deliberate act::
+
+    PYTHONPATH=src python -m tests.test_golden_tables table07_mma
+
+(only do this when the *model* intentionally changed, never to paper
+over an equivalence break).
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.core import run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: every artefact the vectorized tensor-core / TE paths feed
+GOLDEN_NAMES = [
+    "table07_mma",
+    "table08_wgmma_dense",
+    "table09_wgmma_sparse",
+    "table10_wgmma_nsweep",
+    "table11_energy",
+    "fig03_te_breakdown",
+    "fig04_te_linear",
+    "fig05_te_layer",
+    "table12_llm",
+]
+
+
+def _render(name: str) -> str:
+    return run_experiment(name).render() + "\n"
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_rendered_output_matches_golden(name):
+    fixture = GOLDEN_DIR / f"{name}.txt"
+    assert fixture.exists(), (
+        f"missing fixture {fixture}; generate it with "
+        f"`python -m tests.test_golden_tables {name}`"
+    )
+    expected = fixture.read_text()
+    actual = _render(name)
+    if actual != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{name}.txt",
+            tofile=f"current {name}",
+        ))
+        pytest.fail(
+            f"{name} drifted from its golden snapshot:\n{diff}",
+            pytrace=False,
+        )
+
+
+def test_fixture_dir_has_no_strays():
+    """Every committed fixture is owned by a test (no zombie files)."""
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.txt")}
+    assert on_disk == set(GOLDEN_NAMES)
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration
+    import sys
+
+    names = sys.argv[1:] or GOLDEN_NAMES
+    for name in names:
+        (GOLDEN_DIR / f"{name}.txt").write_text(_render(name))
+        print(f"regenerated golden/{name}.txt")

@@ -149,24 +149,46 @@ class TestRegistryIntegration:
         for name in list_experiments():
             assert _accepts_context(get_experiment(name).builder), name
 
-    def test_legacy_zero_arg_builder_warns_and_still_runs(self):
+    def test_zero_arg_builder_registration_raises(self):
+        # the shim warned since PR 2; it's gone now
         from repro.core import registry as regmod
         t = Table("legacy", ["a"])
         t.add_row(1)
         try:
-            with pytest.warns(DeprecationWarning, match="zero-argument"):
+            with pytest.raises(TypeError, match="zero-argument"):
                 register("zz_legacy_probe", "none",
                          "legacy shim coverage")(lambda: (t, []))
-            res = run_experiment(
-                "zz_legacy_probe", RunContext(devices=("A100",)))
-            assert res.table is t
+            assert "zz_legacy_probe" not in regmod._REGISTRY
         finally:
             regmod._REGISTRY.pop("zz_legacy_probe", None)
 
-    def test_direct_experiment_construction_also_shims(self):
+    def test_context_builder_still_registers_fine(self):
+        from repro.core import registry as regmod
         t = Table("direct", ["a"])
         t.add_row(1)
+        try:
+            register("zz_ctx_probe", "none", "context builder")(
+                lambda ctx: (t, [Check("ok", True)]))
+            res = run_experiment(
+                "zz_ctx_probe", RunContext(devices=("A100",)))
+            assert isinstance(res, ExperimentResult) and res.passed
+            assert res.table is t
+        finally:
+            regmod._REGISTRY.pop("zz_ctx_probe", None)
+
+    def test_direct_experiment_passes_context_to_builder(self):
+        # no shim on the direct path either: the builder gets the ctx
+        seen = []
+        t = Table("direct", ["a"])
+        t.add_row(1)
+
+        def builder(ctx):
+            seen.append(ctx)
+            return t, [Check("ok", True)]
+
         exp = Experiment(name="d", paper_ref="-", description="-",
-                         builder=lambda: (t, [Check("ok", True)]))
-        res = exp.run(RunContext(devices=("H800",)))
+                         builder=builder)
+        ctx = RunContext(devices=("H800",))
+        res = exp.run(ctx)
         assert isinstance(res, ExperimentResult) and res.passed
+        assert seen == [ctx]
