@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Steady-state chase engine vs the scalar P-chase loops.
+
+Usage::
+
+    python benchmarks/bench_pchase.py             # report
+    python benchmarks/bench_pchase.py --check     # CI gate (>=5x)
+    python benchmarks/bench_pchase.py \
+        --merge BENCH_perf.current.json           # + record
+
+Replays every pointer chase ``ext_cache_detection`` issues at **full**
+fidelity — the capacity sweep (with its steady-state warmup passes),
+the stride sweep and the conflict ladders, on all three paper devices
+— twice: once through the scalar one-``load()``-per-hop reference
+loops (the executable specs preserved as ``*_scalar``) and once
+through the steady-state :class:`~repro.memory.chase.ChaseEngine`.
+
+Only the chases themselves are timed.  The warm-up fills
+(``warm_l1``/``warm_l2``/``warm_tlb``) are the *same* vectorized
+helpers on both paths, so including them would dilute the comparison
+with identical work; the chase loop is precisely what this engine
+vectorized.  Both passes run the identical task list against
+identically prepared hierarchies, and the bench cross-checks that the
+summed cycles of every chase agree bit-for-bit before reporting —
+``tests/test_memory_chase.py`` pins the full equivalence claim, this
+script pins the *speed* claim.
+
+``--merge`` injects the two timings as ``pchase_scalar`` /
+``pchase_vectorized`` pseudo-experiments into an existing
+``BENCH_perf.json`` snapshot.  ``--check`` exits non-zero unless the
+engine beats the scalar chase by ``--min-speedup`` (default 5x).
+
+Also importable by pytest (``pytest benchmarks/``) for the
+pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.arch import get_device
+from repro.isa.memory_ops import CacheOp
+from repro.memory import MemoryHierarchy
+from repro.memory.cache_study import (PROBE_BUDGETS,
+                                      capacity_sweep_sizes)
+from repro.memory.chase import (ChaseEngine, chase_total_clk,
+                                latency_counts)
+
+_DEVICES = ("RTX4090", "A100", "H800")
+_BUDGET = PROBE_BUDGETS["full"]
+_STRIDES = (4, 8, 16, 32, 64, 128)
+_STRIDE_ARRAY_KIB = 512
+_MAX_WAYS = 16
+
+
+@dataclass
+class ChaseTask:
+    """One chase of the detection workload: how to prepare the
+    hierarchy (untimed) and which runs to chase over it (timed)."""
+
+    label: str
+    seq: np.ndarray
+    runs: List[int]                  # iteration budgets, in order
+    width: int
+    op: CacheOp = CacheOp.CACHE_ALL
+    setup: Callable[[MemoryHierarchy], None] = field(
+        default=lambda mh: None)
+
+
+def _conflict_set_stride(device) -> int:
+    geo = device.cache
+    l1_lines = geo.l1_size_bytes // geo.line_bytes
+    return (l1_lines // geo.l1_associativity) * geo.line_bytes
+
+
+def detection_tasks(device) -> List[ChaseTask]:
+    """Every chase ``CacheProbe(device, fidelity="full").detect()``
+    issues, in sweep order."""
+    tasks: List[ChaseTask] = []
+    warmup = _BUDGET["warmup_passes"]
+
+    for kib in capacity_sweep_sizes(16, 1024):
+        size = kib * 1024
+        n = size // 128
+        runs = ([warmup * n] if warmup else []) \
+            + [_BUDGET["capacity_iters"]]
+        tasks.append(ChaseTask(
+            label=f"capacity/{kib}KiB",
+            seq=np.arange(n, dtype=np.int64) * 128,
+            runs=runs, width=32,
+            setup=lambda mh, size=size: (mh.warm_l1(0, 0, size),
+                                         mh.warm_tlb(0, size)),
+        ))
+
+    array = _STRIDE_ARRAY_KIB * 1024
+    for stride in _STRIDES:
+        n = array // stride
+        tasks.append(ChaseTask(
+            label=f"stride/{stride}B",
+            seq=np.arange(n, dtype=np.int64) * stride,
+            runs=[_BUDGET["stride_iters"]], width=4,
+            setup=lambda mh: (mh.warm_tlb(0, array),
+                              mh.warm_l2(0, array)),
+        ))
+
+    set_stride = _conflict_set_stride(device)
+    for w in range(1, _MAX_WAYS + 1):
+        span = (w - 1) * set_stride + 128
+        tasks.append(ChaseTask(
+            label=f"conflict/{w}way",
+            seq=np.arange(w, dtype=np.int64) * set_stride,
+            runs=[(1 + warmup) * w, _BUDGET["conflict_iters"]],
+            width=32,
+            setup=lambda mh, span=span: mh.warm_tlb(0, span),
+        ))
+    return tasks
+
+
+def _chase_scalar(mh: MemoryHierarchy, task: ChaseTask,
+                  iters: int) -> float:
+    """The executable spec: one ``load()`` per hop."""
+    addrs = task.seq.tolist()
+    period = len(addrs)
+    load = mh.load
+    lats = np.empty(iters)
+    for i in range(iters):
+        lats[i] = load(addrs[i % period], task.width,
+                       cache_op=task.op).latency_clk
+    return chase_total_clk(latency_counts(lats))
+
+
+def _chase_engine(mh: MemoryHierarchy, task: ChaseTask,
+                  iters: int) -> float:
+    return ChaseEngine(mh, size=task.width,
+                       cache_op=task.op).run(
+                           task.seq, iters).total_latency_clk
+
+
+def run_workload(chase, repeat: int) -> Tuple[float, List[float]]:
+    """Best-of-``repeat`` chase time over the full workload, plus the
+    per-run cycle totals of the last pass (the cross-check)."""
+    best = float("inf")
+    totals: List[float] = []
+    for _ in range(repeat):
+        totals = []
+        elapsed = 0.0
+        for name in _DEVICES:
+            device = get_device(name)
+            for task in detection_tasks(device):
+                mh = MemoryHierarchy(device)
+                task.setup(mh)
+                t0 = time.perf_counter()
+                for iters in task.runs:
+                    totals.append(chase(mh, task, iters))
+                elapsed += time.perf_counter() - t0
+        best = min(best, elapsed)
+    return best, totals
+
+
+def merge_into_bench(path: Path, scalar_s: float,
+                     vectorized_s: float) -> None:
+    """Add both timings as pseudo-experiments to a bench snapshot."""
+    data = json.loads(path.read_text())
+    if data.get("schema") != 1:
+        raise ValueError(
+            f"{path}: unsupported bench schema {data.get('schema')!r}")
+    exps = data.setdefault("experiments", {})
+    exps["pchase_scalar"] = {"cached": False,
+                             "wall_s": round(scalar_s, 6)}
+    exps["pchase_vectorized"] = {"cached": False,
+                                 "wall_s": round(vectorized_s, 6)}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="best-of-N timing (default: 3)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero unless the engine beats the "
+                         "scalar chase by --min-speedup")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="speedup the --check gate requires "
+                         "(default: 5.0)")
+    ap.add_argument("--merge", default=None, metavar="BENCH.json",
+                    help="inject pchase_{scalar,vectorized} into an "
+                         "existing BENCH_perf.json snapshot")
+    args = ap.parse_args(argv)
+
+    n_chases = sum(len(t.runs) for d in _DEVICES
+                   for t in detection_tasks(get_device(d)))
+    scalar_s, scalar_totals = run_workload(_chase_scalar, args.repeat)
+    vectorized_s, engine_totals = run_workload(_chase_engine,
+                                               args.repeat)
+    if scalar_totals != engine_totals:
+        print("FAIL: engine and scalar chases disagree on summed "
+              "cycles", file=sys.stderr)
+        return 1
+    speedup = scalar_s / vectorized_s if vectorized_s else float("inf")
+    print(f"{n_chases} chases per pass (best of {args.repeat}):")
+    print(f"  scalar chase loops  {scalar_s * 1e3:8.2f} ms")
+    print(f"  steady-state engine {vectorized_s * 1e3:8.2f} ms  "
+          f"({speedup:.1f}x)")
+
+    if args.merge:
+        merge_into_bench(Path(args.merge), scalar_s, vectorized_s)
+        print(f"merged into {args.merge}")
+
+    if args.check and speedup < args.min_speedup:
+        print(f"FAIL: engine speedup {speedup:.2f}x is below the "
+              f"{args.min_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- pytest-benchmark entry points ----------------------------------------
+
+
+def test_engine_matches_and_beats_scalar_chase():
+    scalar_s, scalar_totals = run_workload(_chase_scalar, 1)
+    vectorized_s, engine_totals = run_workload(_chase_engine, 1)
+    assert scalar_totals == engine_totals
+    assert vectorized_s < scalar_s
+
+
+def test_bench_scalar_chase(benchmark):
+    benchmark(lambda: run_workload(_chase_scalar, 1))
+
+
+def test_bench_chase_engine(benchmark):
+    benchmark(lambda: run_workload(_chase_engine, 1))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -78,6 +78,8 @@ def ext_cache_detection(ctx: RunContext) -> Tuple[Table, List[Check]]:
     checks = []
     for dev_name in ctx.select("RTX4090", "A100", "H800"):
         dev = get_device(dev_name)
+        # the default steady-state chase engine makes every point
+        # cheap in-process; no need for the process-pool fan-out here
         probe = CacheProbe(dev, fidelity=ctx.fidelity)
         params = probe.detect()
         geo = dev.cache

@@ -23,6 +23,12 @@ _PAPER_ORDER = ("RTX4090", "A100", "H800")
 )
 def table04(ctx: RunContext) -> Tuple[Table, List[Check]]:
     devices = ctx.device_order(*_PAPER_ORDER)
+    # Chains stay sequential (seed=None): the over-L2 global probe is
+    # a transient measurement (iters ≪ chain length), and only the
+    # sequential order reproduces the paper's all-miss capacity
+    # behaviour — a random permutation mostly revisits the resident
+    # 1/overfill of the array and reads like an L2 hit.  Seeded chain
+    # orders are exercised by the scalar/vectorized equivalence suite.
     results = {
         name: measure_latencies(get_device(name), fast=ctx.fast)
         for name in devices

@@ -10,6 +10,9 @@ Implements the substrate beneath the paper's §III-A experiments:
 * :mod:`repro.memory.tlb` — an LRU TLB,
 * :mod:`repro.memory.hierarchy` — the per-device façade that routes
   loads through L1 → L2 → DRAM honouring PTX cache operators,
+* :mod:`repro.memory.chase` — the steady-state pointer-chase engine
+  (periodic streams detected at a fixed point and extrapolated
+  exactly),
 * :mod:`repro.memory.pchase` — the pointer-chase latency benchmark
   (Table IV),
 * :mod:`repro.memory.throughput` — sustained-throughput models per
@@ -28,6 +31,12 @@ from repro.memory.hierarchy import (
     BatchAccessResult,
     MemoryHierarchy,
     MemLevel,
+)
+from repro.memory.chase import (
+    ChaseEngine,
+    ChaseStats,
+    chase_total_clk,
+    latency_counts,
 )
 from repro.memory.pchase import PChase, PChaseResult, measure_latencies
 from repro.memory.throughput import (
@@ -49,6 +58,10 @@ __all__ = [
     "MemLevel",
     "AccessResult",
     "BatchAccessResult",
+    "ChaseEngine",
+    "ChaseStats",
+    "chase_total_clk",
+    "latency_counts",
     "PChase",
     "PChaseResult",
     "measure_latencies",

@@ -39,6 +39,14 @@ from repro.obs.session import counters_or_null
 
 __all__ = ["SetAssociativeCache", "CacheStats"]
 
+#: below this batch size the per-access loop beats the lockstep setup
+_LOCKSTEP_MIN = 32
+
+#: initial row count of the state matrices (grown on demand)
+_INIT_SETS = 512
+
+_I64_MAX = np.iinfo(np.int64).max
+
 
 @dataclass
 class CacheStats:
@@ -127,13 +135,65 @@ class SetAssociativeCache:
     def _alloc_state(self) -> None:
         # Occupied ways of a set are always 0.._set_fill[set]-1, so the
         # zero-initialised matrices are never read before being written.
-        shape = (self.num_sets, self.ways)
+        # Rows are allocated for a *prefix* of the sets and grown on
+        # demand (_ensure_sets): a multi-MB L2 costs real milliseconds
+        # to calloc in full, yet the microbenchmarks touch a small
+        # fraction of its sets — an untouched set has no state to
+        # store, so the short matrices are indistinguishable from
+        # full-size ones.
+        self._alloc_sets = min(self.num_sets, _INIT_SETS)
+        shape = (self._alloc_sets, self.ways)
         self._lines = np.zeros(shape, dtype=np.int64)   # line addresses
         self._valid = np.zeros(shape, dtype=np.int64)   # sector bitmasks
         self._stamp = np.zeros(shape, dtype=np.int64)   # LRU timestamps
         self._ins = np.zeros(shape, dtype=np.int64)     # insertion seq
-        self._set_fill = np.zeros(self.num_sets, dtype=np.int64)
-        self._where: Dict[int, int] = {}                # line addr → way
+        self._set_fill = np.zeros(self._alloc_sets, dtype=np.int64)
+        # line addr → way lookup index for the scalar path.  Lazy:
+        # the batched paths maintain residency in the matrices alone
+        # and set this to None; _index() rebuilds it on the next
+        # scalar access.  Keeping it eagerly in sync cost more than
+        # the whole closed-form fill for warm-up-sized streams.
+        self._where: Optional[Dict[int, int]] = {}
+        self._empty = True                   # no line inserted yet
+
+    def _ensure_sets(self, hi: int) -> None:
+        """Grow the state matrices to cover set indices ``< hi``."""
+        cur = self._alloc_sets
+        if hi <= cur:
+            return
+        new = min(self.num_sets, max(hi, 2 * cur))
+
+        def grown(m: np.ndarray) -> np.ndarray:
+            g = np.zeros((new,) + m.shape[1:], dtype=m.dtype)
+            g[:cur] = m
+            return g
+
+        self._lines = grown(self._lines)
+        self._valid = grown(self._valid)
+        self._stamp = grown(self._stamp)
+        self._ins = grown(self._ins)
+        self._set_fill = grown(self._set_fill)
+        self._alloc_sets = new
+
+    def reserve_span(self, nbytes: int) -> None:
+        """Pre-grow the state matrices for accesses inside
+        ``[0, nbytes)`` — an allocation hint (one growth instead of a
+        doubling cascade); cache state is unchanged."""
+        if nbytes > 0:
+            self._ensure_sets(min(-(-nbytes // self.line_bytes),
+                                  self.num_sets))
+
+    def _index(self) -> Dict[int, int]:
+        """The line→way dict, rebuilt from the matrices if a batched
+        path invalidated it (cost ∝ resident lines)."""
+        w = self._where
+        if w is None:
+            occ = (np.arange(self.ways, dtype=np.int64)[None, :]
+                   < self._set_fill[:, None])
+            r, c = np.nonzero(occ)
+            w = self._where = dict(zip(self._lines[r, c].tolist(),
+                                       c.tolist()))
+        return w
 
     # -- address helpers ----------------------------------------------------
 
@@ -177,10 +237,21 @@ class SetAssociativeCache:
             if obs.enabled:
                 obs.add(self._k_acc)
         all_hit = True
+        if 0 < size <= self.sector_bytes - addr % self.sector_bytes:
+            # single-sector fast path — the overwhelmingly common
+            # shape (4–32 B aligned loads); same transitions as the
+            # loop below, minus the span bookkeeping
+            span = (self._locate(addr),)
+            hi = span[0][1] + 1
+        else:
+            span = self._sector_span(addr, size)
+            hi = max(s for _, s, _ in span) + 1
+        if hi > self._alloc_sets:
+            self._ensure_sets(hi)
         valid = self._valid
         stamp = self._stamp
-        where = self._where
-        for line_addr, set_idx, sector in self._sector_span(addr, size):
+        where = self._index()
+        for line_addr, set_idx, sector in span:
             way = where.get(line_addr)
             bit = 1 << sector
             if way is not None and int(valid[set_idx, way]) & bit:
@@ -218,8 +289,12 @@ class SetAssociativeCache:
 
         Ascending single-sector streams into an empty cache (the
         ``warm()`` / initialisation-pass pattern) are resolved in
-        closed form without a per-access loop; anything else falls
-        back to the exact scalar path.
+        closed form without a per-access loop.  General single-sector
+        streams — pointer chases — run on the lockstep path: sets are
+        independent, so the stream is split per set and one matrix
+        step resolves the *i*-th access of every touched set at once
+        (see :meth:`_lockstep_access`).  Anything else falls back to
+        the exact scalar path.
         """
         a = np.ascontiguousarray(addrs, dtype=np.int64)
         if a.ndim != 1:
@@ -227,9 +302,21 @@ class SetAssociativeCache:
         n = len(a)
         if n == 0:
             return np.zeros(0, dtype=bool)
-        if allocate and not self._where and self._bulk_ok(a, size):
+        if allocate and self._empty and self._bulk_ok(a, size):
             return self._bulk_fill(a, record)
-        out = np.empty(n, dtype=bool)
+        if n >= _LOCKSTEP_MIN and self._lockstep_ok(a, size):
+            hit = self._all_hit_fast(a, record=record)
+            if hit is not None:
+                return hit
+            return self._lockstep_access(a, size, allocate=allocate,
+                                         record=record)
+        return self._access_loop(a, size, write=write, allocate=allocate,
+                                 record=record)
+
+    def _access_loop(self, a: np.ndarray, size: int, *, write: bool,
+                     allocate: bool, record: bool) -> np.ndarray:
+        """The exact per-access fallback of :meth:`access_many`."""
+        out = np.empty(len(a), dtype=bool)
         acc = self.access
         for i, addr in enumerate(a.tolist()):
             out[i] = acc(addr, size, write=write, allocate=allocate,
@@ -238,8 +325,9 @@ class SetAssociativeCache:
 
     def probe(self, addr: int, size: int = 4) -> bool:
         """Non-destructive lookup (no fill, no LRU update, no stats)."""
+        where = self._index()
         for line_addr, set_idx, sector in self._sector_span(addr, size):
-            way = self._where.get(line_addr)
+            way = where.get(line_addr)
             if way is None or not (int(self._valid[set_idx, way])
                                    & (1 << sector)):
                 return False
@@ -256,11 +344,25 @@ class SetAssociativeCache:
         end = base + size
         if start >= end:
             return
+        if self._empty and start >= 0:
+            # the stream below is exactly the closed-form fill's
+            # eligible pattern; resolve it at line granularity without
+            # materialising the per-sector address array
+            self._warm_fill(start, end, record)
+            return
         addrs = np.arange(start, end, self.sector_bytes, dtype=np.int64)
         self.access_many(addrs, self.sector_bytes, record=record)
 
     def flush(self) -> None:
-        self._alloc_state()
+        # Retains the (possibly grown) matrices: occupied ways are
+        # always 0.._set_fill[set]-1, so zeroing the fill vector alone
+        # empties the cache — stale rows are never consulted.  The
+        # clocks keep running, exactly as before a flush; LRU is
+        # ordinal so no outcome can tell.  Reusing the allocation
+        # makes flush-and-rewarm loops (parameter sweeps) cheap.
+        self._set_fill[:] = 0
+        self._where = {}
+        self._empty = True
         self.stats.reset()
 
     # -- internals --------------------------------------------------------------
@@ -271,13 +373,16 @@ class SetAssociativeCache:
         if fill >= self.ways:
             # true LRU: smallest stamp; ties (multi-line accesses share
             # one clock) broken by insertion order, like the scalar
-            # model's list scan.
-            row = self._stamp[set_idx]
-            ties = np.flatnonzero(row == row.min())
-            if len(ties) == 1:
-                way = int(ties[0])
+            # model's list scan.  Rows are at most `ways` wide, where
+            # a plain list scan beats any array reduction.
+            row = self._stamp[set_idx].tolist()
+            lo = min(row)
+            if row.count(lo) == 1:
+                way = row.index(lo)
             else:
-                way = int(ties[np.argmin(self._ins[set_idx, ties])])
+                ins = self._ins[set_idx].tolist()
+                way = min((i for i, s in enumerate(row) if s == lo),
+                          key=ins.__getitem__)
             del self._where[int(self._lines[set_idx, way])]
             if record:
                 self.stats.evictions += 1
@@ -291,7 +396,8 @@ class SetAssociativeCache:
         self._stamp[set_idx, way] = self._clock
         self._ins[set_idx, way] = self._ins_counter
         self._ins_counter += 1
-        self._where[line_addr] = way
+        self._where[line_addr] = way     # access() built it via _index
+        self._empty = False
 
     def _bulk_ok(self, addrs: np.ndarray, size: int) -> bool:
         """Is this stream eligible for the closed-form fill?"""
@@ -328,6 +434,7 @@ class SetAssociativeCache:
         stamp_u = self._clock + bounds          # clock after last touch
         ins_u = self._ins_counter + np.arange(n_lines)
         set_u = lines_u % self.num_sets
+        self._ensure_sets(int(set_u.max()) + 1)
 
         # keep the newest `ways` lines of every set
         order = np.argsort(set_u, kind="stable")
@@ -348,7 +455,8 @@ class SetAssociativeCache:
         self._stamp[set_k, way_k] = stamp_u[kept]
         self._ins[set_k, way_k] = ins_u[kept]
         self._set_fill[ss[grp_first]] = np.minimum(grp_sizes, self.ways)
-        self._where.update(zip(line_k.tolist(), way_k.tolist()))
+        self._where = None               # index rebuilt lazily
+        self._empty = False
 
         self._clock += n
         self._ins_counter += n_lines
@@ -362,22 +470,445 @@ class SetAssociativeCache:
             if obs.enabled:
                 obs.add(self._k_acc, n)
                 obs.add(self._k_tag, n_lines)
-                obs.add(self._k_sector, n - n_lines)
-                obs.add(self._k_evict, evicted)
+                if n - n_lines:
+                    obs.add(self._k_sector, n - n_lines)
+                if evicted:
+                    obs.add(self._k_evict, evicted)
         return np.zeros(n, dtype=bool)
 
+    def _warm_fill(self, start: int, end: int, record: bool) -> None:
+        """:meth:`warm` into an empty cache, in closed form at *line*
+        granularity.
+
+        The warm stream is one sector-ascending pass over
+        ``[start, end)``, so its :meth:`_bulk_fill` outcome is fully
+        determined by the touched line range: per set, consecutive
+        lines arrive in ascending order and LRU keeps the last
+        ``min(count, ways)``; a line's final stamp is the clock after
+        its last sector and its insertion number is its rank.  State,
+        stats and clocks land bit-identical to streaming the
+        addresses through :meth:`access_many` — pinned by tests —
+        without ever materialising per-sector arrays.
+        """
+        spl = self.sectors_per_line
+        sb = self.sector_bytes
+        s0 = start // sb
+        s1 = -(-end // sb)
+        n = s1 - s0                                   # sector accesses
+        l0 = s0 // spl
+        l1 = (s1 - 1) // spl + 1
+        m = l1 - l0                                   # lines touched
+        S = self.num_sets
+        W = self.ways
+        clock = self._clock
+        full = (np.int64(1) << spl) - np.int64(1)
+
+        def stamps(lines: np.ndarray) -> np.ndarray:
+            return clock + np.minimum((lines + 1) * spl, s1) - s0
+
+        def fix_edges(lines: np.ndarray, valid: np.ndarray) -> None:
+            # the first / last line of the range may be partial
+            if s0 % spl:
+                valid[lines == l0] &= full & ~((np.int64(1)
+                                                << (s0 % spl)) - 1)
+            if s1 % spl:
+                valid[lines == l1 - 1] &= \
+                    (np.int64(1) << (s1 - (l1 - 1) * spl)) - 1
+
+        evicted = 0
+        if m <= S:
+            # every touched set holds exactly one line, in way 0; the
+            # row indices are consecutive mod S, i.e. at most two
+            # contiguous slices — scatter with slice assignments
+            lines = np.arange(l0, l1, dtype=np.int64)
+            valid = np.full(m, full, dtype=np.int64)
+            if s0 % spl:
+                valid[0] &= full & ~((np.int64(1)
+                                      << (s0 % spl)) - 1)
+            if s1 % spl:
+                valid[-1] &= (np.int64(1)
+                              << (s1 - (l1 - 1) * spl)) - 1
+            st = clock + (lines + 1) * spl - s0
+            st[-1] = clock + n            # last line: clamp to range
+            ins = self._ins_counter + np.arange(m, dtype=np.int64)
+            r0 = l0 % S
+            first = min(m, S - r0)
+            self._ensure_sets(S if first < m else r0 + m)
+            for dst, src, ln in ((r0, 0, first),
+                                 (0, first, m - first)):
+                if ln <= 0:
+                    continue
+                d = slice(dst, dst + ln)
+                s_ = slice(src, src + ln)
+                self._lines[d, 0] = lines[s_]
+                self._valid[d, 0] = valid[s_]
+                self._stamp[d, 0] = st[s_]
+                self._ins[d, 0] = ins[s_]
+                self._set_fill[d] = 1
+        else:
+            # per set s: first line f = l0+i (i = rank of s in the
+            # touch order), count c, kept = the last K = min(c, W)
+            # lines f + (c-K..c-1)·S in ways 0..K-1
+            i = np.arange(S, dtype=np.int64)
+            f = l0 + i
+            rows = f % S
+            self._ensure_sets(S)
+            c = 1 + (l1 - 1 - f) // S
+            K = np.minimum(c, W)
+            evicted = int((c - K).sum())
+            grid = ((f + (c - K) * S)[:, None]
+                    + np.arange(W, dtype=np.int64)[None, :] * S)
+            occ = np.arange(W, dtype=np.int64)[None, :] < K[:, None]
+            valid = np.where(occ, full, np.int64(0))
+            fix_edges(grid, valid)
+            self._lines[rows] = grid
+            self._valid[rows] = valid
+            self._stamp[rows] = np.where(occ, stamps(grid), 0)
+            self._ins[rows] = np.where(
+                occ, self._ins_counter + grid - l0, 0)
+            self._set_fill[rows] = K
+
+        self._where = None
+        self._empty = False
+        self._clock += n
+        self._ins_counter += m
+        if record:
+            self.stats.accesses += n
+            self.stats.tag_misses += m
+            self.stats.sector_misses += n - m
+            self.stats.evictions += evicted
+            obs = self._obs
+            if obs.enabled:
+                obs.add(self._k_acc, n)
+                obs.add(self._k_tag, m)
+                if n - m:
+                    obs.add(self._k_sector, n - m)
+                if evicted:
+                    obs.add(self._k_evict, evicted)
+
+    def _all_hit_fast(self, a: np.ndarray, *,
+                      record: bool) -> Optional[np.ndarray]:
+        """Resolve a single-sector stream consisting entirely of hits.
+
+        A steady-state chase over a resident footprint — the measured
+        phase of every under-capacity P-chase point — only ever bumps
+        LRU stamps: no fills, no evictions, no state beyond the
+        clock.  Residency of the whole batch is decided by one
+        gather; on the first non-hit the caller falls back to the
+        exact general paths, having mutated nothing.
+
+        Stamps are position-based (``clock0 + i + 1``) exactly as on
+        the scalar and lockstep paths, and a line accessed several
+        times in the batch keeps its *last* occurrence's stamp —
+        fancy assignment applies values in order, so repeated
+        ``(set, way)`` indices end on the final one.
+        """
+        if self._empty:
+            return None
+        line = a // self.line_bytes
+        set_idx = line % self.num_sets
+        hi = int(set_idx.max()) + 1
+        if hi > self._alloc_sets:
+            return None        # an untouched set means a sure miss
+        rows = self._lines[set_idx]
+        occ = (np.arange(self.ways, dtype=np.int64)[None, :]
+               < self._set_fill[set_idx][:, None])
+        match = (rows == line[:, None]) & occ
+        tag_hit = match.any(axis=1)
+        if not tag_hit.all():
+            return None
+        way = match.argmax(axis=1)
+        bits = np.int64(1) << ((a % self.line_bytes)
+                               // self.sector_bytes)
+        if np.any(self._valid[set_idx, way] & bits == 0):
+            return None
+        n = len(a)
+        self._stamp[set_idx, way] = \
+            self._clock + 1 + np.arange(n, dtype=np.int64)
+        self._clock += n
+        if record:
+            self.stats.accesses += n
+            self.stats.hits += n
+            obs = self._obs
+            if obs.enabled:
+                obs.add(self._k_acc, n)
+                obs.add(self._k_hit, n)
+        return np.ones(n, dtype=bool)
+
+    def _lockstep_ok(self, addrs: np.ndarray, size: int) -> bool:
+        """Is this stream eligible for the lockstep path?  Single
+        sector per access is the only hard requirement (multi-sector
+        accesses would interleave within one clock tick)."""
+        if size <= 0:
+            return False
+        return not bool(np.any(addrs % self.sector_bytes + size
+                               > self.sector_bytes))
+
+    def _lockstep_access(self, a: np.ndarray, size: int, *,
+                         allocate: bool, record: bool) -> np.ndarray:
+        """Exact vectorized replay of a single-sector access stream.
+
+        Sets are fully independent state machines, so the stream is
+        split into per-set sub-streams (a stable argsort keeps each in
+        issue order) and processed in *lockstep*: step ``i`` resolves
+        the ``i``-th access of every touched set simultaneously with
+        matrix operations.  The step count is the deepest sub-stream,
+        not the batch length — a chase spread over S sets runs in
+        ~n/S steps.
+
+        Exactness relies on two invariants of the scalar path:
+
+        * per-access clocks are position-based (``c0 + i + 1``), so
+          LRU stamps can be computed up front;
+        * stamps assigned within this call are distinct and larger
+          than every pre-existing stamp, so the ``(stamp, _ins)``
+          LRU tie-break can only involve pre-call lines — insertion
+          sequence numbers are therefore assigned *after* the loop,
+          in global access order, without affecting any victim choice
+          made during it.
+        """
+        n = len(a)
+        line = a // self.line_bytes
+        set_idx = line % self.num_sets
+        order = np.argsort(set_idx, kind="stable")
+        gs = set_idx[order]
+        starts = np.flatnonzero(np.r_[True, gs[1:] != gs[:-1]])
+        counts = np.r_[starts[1:], n] - starts
+        depth = int(counts.max())
+        if depth * 8 > n:
+            # concentrated in few sets: lockstep degenerates to ~n tiny
+            # matrix steps — the scalar loop is cheaper and exact
+            return self._access_loop(a, size, write=False,
+                                     allocate=allocate, record=record)
+        us = gs[starts]                       # touched sets, ascending
+        self._ensure_sets(int(us[-1]) + 1)
+        ways = self.ways
+
+        # local copies of the touched rows (fancy indexing copies);
+        # written back once at the end
+        L = self._lines[us]
+        V = self._valid[us]
+        S = self._stamp[us]
+        Ins = self._ins[us]
+        F = self._set_fill[us]
+
+        line_s = line[order]
+        bits_s = np.int64(1) << ((a[order] % self.line_bytes)
+                                 // self.sector_bytes)
+        clk_s = self._clock + order + 1       # position-based clocks
+        pos_s = order
+
+        out = np.empty(n, dtype=bool)
+        way_col = np.arange(ways, dtype=np.int64)
+        n_hit = n_sector = n_tag = n_evict = 0
+        v_changed = False
+        ins_pos: List[np.ndarray] = []
+        ins_row: List[np.ndarray] = []
+        ins_way: List[np.ndarray] = []
+        ins_line: List[np.ndarray] = []
+        ev_pos: List[np.ndarray] = []
+        ev_line: List[np.ndarray] = []
+
+        for step in range(depth):
+            rows = np.flatnonzero(counts > step)   # one access per set
+            idx = starts[rows] + step
+            li = line_s[idx]
+            bi = bits_s[idx]
+            ck = clk_s[idx]
+            po = pos_s[idx]
+
+            occ = way_col < F[rows, None]
+            match = (L[rows] == li[:, None]) & occ
+            tag_hit = match.any(axis=1)
+            w = match.argmax(axis=1)
+
+            hit = np.zeros(len(rows), dtype=bool)
+            th = np.flatnonzero(tag_hit)
+            if len(th):
+                hit[th] = (V[rows[th], w[th]] & bi[th]) != 0
+            out[po] = hit
+
+            h = np.flatnonzero(hit)
+            sm = np.flatnonzero(tag_hit & ~hit)
+            tm = np.flatnonzero(~tag_hit)
+            if record:
+                n_hit += len(h)
+                n_sector += len(sm)
+                n_tag += len(tm)
+            if len(h):
+                S[rows[h], w[h]] = ck[h]
+            if allocate:
+                if len(sm):
+                    V[rows[sm], w[sm]] |= bi[sm]
+                    S[rows[sm], w[sm]] = ck[sm]
+                    v_changed = True
+                if len(tm):
+                    r = rows[tm]
+                    fill = F[r]
+                    wn = fill.copy()              # fresh way when not full
+                    full = np.flatnonzero(fill >= ways)
+                    if len(full):
+                        rr = r[full]
+                        Sr = S[rr]
+                        key = np.where(Sr == Sr.min(axis=1)[:, None],
+                                       Ins[rr], _I64_MAX)
+                        wv = key.argmin(axis=1)   # LRU, ties by _ins
+                        wn[full] = wv
+                        ev_pos.append(po[tm][full])
+                        ev_line.append(L[rr, wv].copy())
+                        n_evict += len(full)
+                    F[r] = np.minimum(fill + 1, ways)
+                    L[r, wn] = li[tm]
+                    V[r, wn] = bi[tm]
+                    S[r, wn] = ck[tm]
+                    ins_pos.append(po[tm])
+                    ins_row.append(r)
+                    ins_way.append(wn)
+                    ins_line.append(li[tm])
+
+        # insertion sequence numbers, assigned in global access order;
+        # for a (set, way) slot filled several times only the last
+        # insertion survives (the earlier ones were evicted)
+        if ins_pos:
+            ip = np.concatenate(ins_pos)
+            ir = np.concatenate(ins_row)
+            iw = np.concatenate(ins_way)
+            o2 = np.argsort(ip)               # positions are unique
+            slot = ir[o2] * ways + iw[o2]
+            _, first_rev = np.unique(slot[::-1], return_index=True)
+            keep = len(slot) - 1 - first_rev
+            Ins[ir[o2][keep], iw[o2][keep]] = \
+                self._ins_counter + keep
+            self._ins_counter += len(ip)
+
+        # write back only what could have changed: stamps move on
+        # every access, the rest only on misses that allocated
+        self._stamp[us] = S
+        if ins_pos:
+            self._lines[us] = L
+            self._ins[us] = Ins
+            self._set_fill[us] = F
+        if v_changed or ins_pos:
+            self._valid[us] = V
+
+        if ins_pos:
+            self._empty = False
+        # replay eviction/insertion events into the line→way index —
+        # unless it is already invalidated, in which case the matrices
+        # alone carry residency and _index() rebuilds on demand
+        if self._where is not None and (ins_pos or ev_pos):
+            ep = np.concatenate(ev_pos + ins_pos) if ev_pos \
+                else np.concatenate(ins_pos)
+            el = np.concatenate(ev_line + ins_line) if ev_pos \
+                else np.concatenate(ins_line)
+            ew = np.concatenate(
+                [np.full(sum(map(len, ev_pos)), -1, dtype=np.int64)]
+                + ins_way) if ev_pos else np.concatenate(ins_way)
+            o3 = np.argsort(ep)
+            el_s = el[o3]
+            ew_s = ew[o3]
+            _, first_rev = np.unique(el_s[::-1], return_index=True)
+            last = len(el_s) - 1 - first_rev
+            final_line = el_s[last]
+            final_way = ew_s[last]
+            dead = final_way < 0
+            where = self._where
+            for lk in final_line[dead].tolist():
+                where.pop(lk, None)     # inserted-then-evicted in-call
+            where.update(zip(final_line[~dead].tolist(),
+                             final_way[~dead].tolist()))
+
+        self._clock += n
+        if record:
+            st = self.stats
+            st.accesses += n
+            st.hits += n_hit
+            st.sector_misses += n_sector
+            st.tag_misses += n_tag
+            st.evictions += n_evict
+            obs = self._obs
+            if obs.enabled:
+                obs.add(self._k_acc, n)
+                if n_hit:
+                    obs.add(self._k_hit, n_hit)
+                if n_sector:
+                    obs.add(self._k_sector, n_sector)
+                if n_tag:
+                    obs.add(self._k_tag, n_tag)
+                if n_evict:
+                    obs.add(self._k_evict, n_evict)
+        return out
+
     # -- introspection -------------------------------------------------------------
+
+    def state_digest(self, sets: Union[Sequence[int], np.ndarray]) \
+            -> bytes:
+        """Canonical digest of the state of ``sets`` as it affects any
+        future access stream confined to them: per set, the resident
+        line addresses and sector-valid masks in LRU→MRU order (the
+        lexicographic ``(stamp, _ins)`` rank), plus occupancy.
+        Absolute clock values and physical way positions are
+        deliberately excluded — LRU decisions are ordinal, and no
+        outcome depends on *which* way holds a line — so two states
+        one steady-state chase period apart digest equal even when
+        the resident lines have rotated through the ways (as LRU
+        thrash patterns make them do).
+        """
+        import hashlib
+
+        rows = np.ascontiguousarray(sets, dtype=np.int64)
+        if len(rows):
+            self._ensure_sets(int(rows.max()) + 1)
+        if len(rows) <= 32:
+            # tiny set lists (conflict ladders): plain-Python sort of
+            # a few ways per set beats the vectorized lexsort setup
+            h = hashlib.blake2b(digest_size=16)
+            payload = []
+            for r in rows.tolist():
+                fill = int(self._set_fill[r])
+                payload.append(fill)
+                occ = sorted(
+                    zip(self._stamp[r, :fill].tolist(),
+                        self._ins[r, :fill].tolist(),
+                        self._lines[r, :fill].tolist(),
+                        self._valid[r, :fill].tolist()))
+                for _, _, ln, vd in occ:
+                    payload.append(ln)
+                    payload.append(vd)
+            h.update(repr(payload).encode())
+            return h.digest()
+        L = self._lines[rows]
+        V = self._valid[rows]
+        S = self._stamp[rows]
+        Ins = self._ins[rows]
+        F = self._set_fill[rows]
+        occ = np.arange(self.ways)[None, :] < F[:, None]
+        # list each set's lines in LRU-to-MRU order; unoccupied ways
+        # sort last and are masked to sentinels
+        order = np.lexsort((np.where(occ, Ins, _I64_MAX),
+                            np.where(occ, S, _I64_MAX)), axis=-1)
+        h = hashlib.blake2b(digest_size=16)
+        h.update(F.tobytes())
+        h.update(np.where(occ, np.take_along_axis(L, order, axis=1),
+                          -1).tobytes())
+        h.update(np.where(occ, np.take_along_axis(V, order, axis=1),
+                          0).tobytes())
+        return h.digest()
 
     @property
     def resident_bytes(self) -> int:
         """Bytes of valid sectors currently cached."""
-        if not self._where:
+        if self._empty:
             return 0
+        # mask to occupied ways: flush() leaves stale bits behind
+        occ = (np.arange(self.ways, dtype=np.int64)[None, :]
+               < self._set_fill[:, None])
+        valid = np.where(occ, self._valid, 0)
         if hasattr(np, "bitwise_count"):
-            sectors = int(np.bitwise_count(self._valid).sum())
+            sectors = int(np.bitwise_count(valid).sum())
         else:  # pragma: no cover - numpy < 2.0
             sectors = int(np.unpackbits(
-                self._valid.astype(np.uint64).view(np.uint8)).sum())
+                valid.astype(np.uint64).view(np.uint8)).sum())
         return sectors * self.sector_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,10 +17,16 @@ the self-consistency check that the measurement methodology and the
 model agree.
 
 Each point of the capacity and stride sweeps is an independent chase
-through its own :class:`MemoryHierarchy`, so the sweeps fan out over
-the :func:`repro.perf.parallel_map` process pool (``jobs > 1``).  The
-chase *inside* a point is inherently serial — every load depends on
-the previous one; that is the whole point of P-chase — and stays so.
+through its own :class:`MemoryHierarchy`.  The chase *inside* a point
+is logically serial — every load depends on the previous one; that is
+the whole point of P-chase — but the default ``engine="vectorized"``
+resolves it on the steady-state
+:class:`~repro.memory.chase.ChaseEngine`: whole periods run through
+the batched cache paths and repeated periods are accounted
+analytically, with results exactly equal (cycles and counters) to the
+scalar reference loops preserved as ``*_scalar``.  A vectorized point
+is cheap enough that the :func:`repro.perf.parallel_map` process-pool
+fan-out (``jobs > 1``) is now an option rather than a necessity.
 """
 
 from __future__ import annotations
@@ -28,8 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.arch import DeviceSpec
 from repro.isa.memory_ops import CacheOp
+from repro.memory.chase import (ChaseEngine, chase_total_clk,
+                                latency_counts)
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs import session as _obs
 
@@ -67,9 +77,33 @@ def capacity_sweep_sizes(lo_kib: int = 16,
     return sizes
 
 
-def _capacity_point(task: Tuple[DeviceSpec, int, int, int]) \
+def _capacity_point(task: Tuple[DeviceSpec, int, int, int],
+                    mh: Optional[MemoryHierarchy] = None) \
         -> Tuple[int, float]:
-    """One capacity-sweep point (module-level: pool workers pickle it)."""
+    """One capacity-sweep point (module-level: pool workers pickle it),
+    resolved on the steady-state engine.  ``mh`` lets a serial caller
+    reuse one flushed hierarchy across points (a flush is behaviourally
+    a fresh hierarchy but keeps the grown cache matrices)."""
+    device, kib, iters, warmup = task
+    if mh is None:
+        mh = MemoryHierarchy(device)
+    else:
+        mh.flush()
+    size = kib * 1024
+    mh.warm_l1(0, 0, size)
+    mh.warm_tlb(0, size)
+    n = size // 128
+    seq = np.arange(n, dtype=np.int64) * 128
+    eng = ChaseEngine(mh, size=32)
+    if warmup:                     # extra steady-state chase passes
+        eng.run(seq, warmup * n)
+    return kib, eng.run(seq, iters).mean_latency_clk
+
+
+def _capacity_point_scalar(task: Tuple[DeviceSpec, int, int, int]) \
+        -> Tuple[int, float]:
+    """Scalar reference for :func:`_capacity_point` — the original
+    one-load-per-step chase (the executable spec)."""
     device, kib, iters, warmup = task
     mh = MemoryHierarchy(device)
     size = kib * 1024
@@ -79,29 +113,50 @@ def _capacity_point(task: Tuple[DeviceSpec, int, int, int]) \
     for _ in range(warmup):        # extra steady-state chase passes
         for i in range(n):
             mh.load(i * 128, 32, sm_id=0)
-    total = 0.0
+    lats = np.empty(iters)
     idx = 0
-    for _ in range(iters):
-        total += mh.load(idx * 128, 32, sm_id=0).latency_clk
+    for i in range(iters):
+        lats[i] = mh.load(idx * 128, 32, sm_id=0).latency_clk
         idx = (idx + 1) % n
-    return kib, total / iters
+    return kib, chase_total_clk(latency_counts(lats)) / iters
 
 
-def _stride_point(task: Tuple[DeviceSpec, int, int, int]) \
+def _stride_point(task: Tuple[DeviceSpec, int, int, int],
+                  mh: Optional[MemoryHierarchy] = None) \
         -> Tuple[int, float]:
-    """One stride-sweep point (module-level: pool workers pickle it)."""
+    """One stride-sweep point (module-level: pool workers pickle it),
+    resolved on the steady-state engine.  ``mh`` as in
+    :func:`_capacity_point`."""
+    device, stride, array_kib, iters = task
+    size = array_kib * 1024
+    if mh is None:
+        mh = MemoryHierarchy(device)
+    else:
+        mh.flush()
+    mh.warm_tlb(0, size)
+    mh.warm_l2(0, size)
+    n = size // stride
+    seq = np.arange(n, dtype=np.int64) * stride
+    eng = ChaseEngine(mh, size=4, cache_op=CacheOp.CACHE_ALL)
+    return stride, eng.run(seq, iters).mean_latency_clk
+
+
+def _stride_point_scalar(task: Tuple[DeviceSpec, int, int, int]) \
+        -> Tuple[int, float]:
+    """Scalar reference for :func:`_stride_point` (the executable
+    spec)."""
     device, stride, array_kib, iters = task
     size = array_kib * 1024
     mh = MemoryHierarchy(device)
     mh.warm_tlb(0, size)
     mh.warm_l2(0, size)
     n = size // stride
-    total = 0.0
+    lats = np.empty(iters)
     for i in range(iters):
         addr = (i % n) * stride
-        total += mh.load(addr, 4, sm_id=0,
-                         cache_op=CacheOp.CACHE_ALL).latency_clk
-    return stride, total / iters
+        lats[i] = mh.load(addr, 4, sm_id=0,
+                          cache_op=CacheOp.CACHE_ALL).latency_clk
+    return stride, chase_total_clk(latency_counts(lats)) / iters
 
 
 @dataclass(frozen=True)
@@ -120,18 +175,40 @@ class CacheProbe:
     sweep also takes an explicit ``jobs`` override.  ``fidelity``
     selects a :data:`PROBE_BUDGETS` tier — ``full`` runs longer chases
     with steady-state warmup passes before every measured loop.
+    ``engine`` picks the steady-state chase engine (default) or the
+    scalar reference loops; both produce identical sweeps.
     """
 
+    _ENGINES = ("vectorized", "scalar")
+
     def __init__(self, device: DeviceSpec, *, jobs: int = 1,
-                 fidelity: str = "fast") -> None:
+                 fidelity: str = "fast",
+                 engine: str = "vectorized") -> None:
         if fidelity not in PROBE_BUDGETS:
             raise ValueError(
                 f"unknown fidelity {fidelity!r}; "
                 f"expected one of {sorted(PROBE_BUDGETS)}")
+        if engine not in self._ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {self._ENGINES}")
         self.device = device
         self.jobs = max(1, jobs)
         self.fidelity = fidelity
+        self.engine = engine
         self.budget = PROBE_BUDGETS[fidelity]
+        self._mh: Optional[MemoryHierarchy] = None
+
+    def _hierarchy(self) -> MemoryHierarchy:
+        """One reusable hierarchy for serial in-process sweeps.
+        Rebuilt if the observability sink changed (a session started
+        or ended since it was made) so counters land in the right
+        bank."""
+        from repro.obs.session import counters_or_null
+
+        sink = counters_or_null()
+        if self._mh is None or self._mh._obs is not sink:
+            self._mh = MemoryHierarchy(self.device)
+        return self._mh
 
     def _map(self, fn, tasks, jobs: int):
         # lazy import: repro.perf imports repro.core, which imports the
@@ -144,6 +221,12 @@ class CacheProbe:
             # out of the counter bank and serial/parallel dumps would
             # diverge; under observability the sweeps stay in-process
             jobs = 1
+        if jobs == 1 and self.engine == "vectorized":
+            # serial in-process: run the points against one flushed
+            # hierarchy — the retained matrix allocation makes each
+            # point's warm-up passes cheap
+            mh = self._hierarchy()
+            return [fn(t, mh=mh) for t in tasks]
         return parallel_map(fn, tasks, jobs=jobs)
 
     def _span(self, name: str, points: int, iters: int):
@@ -173,8 +256,17 @@ class CacheProbe:
         warmup = self.budget["warmup_passes"]
         tasks = [(self.device, kib, iters, warmup)
                  for kib in sizes_kib]
+        fn = _capacity_point if self.engine == "vectorized" \
+            else _capacity_point_scalar
+        if self.engine == "vectorized" and sizes_kib:
+            # size the reusable hierarchy for the largest point up
+            # front instead of re-growing through the sweep
+            mh = self._hierarchy()
+            span = max(sizes_kib) * 1024
+            mh.l1_for_sm(0).reserve_span(span)
+            mh.l2.reserve_span(span)
         with self._span("capacity_sweep", len(tasks), iters):
-            return dict(self._map(_capacity_point, tasks, jobs))
+            return dict(self._map(fn, tasks, jobs))
 
     def detect_l1_capacity(self, *, lo_kib: int = 16,
                            hi_kib: int = 1024) -> int:
@@ -208,8 +300,14 @@ class CacheProbe:
             iters = self.budget["stride_iters"]
         tasks = [(self.device, stride, array_kib, iters)
                  for stride in strides]
+        fn = _stride_point if self.engine == "vectorized" \
+            else _stride_point_scalar
+        if self.engine == "vectorized":
+            mh = self._hierarchy()
+            mh.l1_for_sm(0).reserve_span(array_kib * 1024)
+            mh.l2.reserve_span(array_kib * 1024)
         with self._span("stride_sweep", len(tasks), iters):
-            return dict(self._map(_stride_point, tasks, jobs))
+            return dict(self._map(fn, tasks, jobs))
 
     def detect_sector_bytes(self) -> int:
         """Smallest stride at which every access misses L1 on first
@@ -226,14 +324,45 @@ class CacheProbe:
 
     def conflict_sweep(self, ways_range: List[int],
                        iters: Optional[int] = None) -> Dict[int, float]:
-        """Chase ``w`` same-set addresses repeatedly."""
+        """Chase ``w`` same-set addresses repeatedly.
+
+        The working set is tiny (≤ ``max_ways`` lines) but the chase
+        is long, which is exactly the steady-state engine's best
+        case: a lap is ``w`` accesses and the latency/state fixed
+        point arrives within a few laps, so almost the whole budget
+        is accounted analytically.
+        """
+        if self.engine == "scalar":
+            return self.conflict_sweep_scalar(ways_range, iters)
         if iters is None:
             iters = self.budget["conflict_iters"]
         warmup = 1 + self.budget["warmup_passes"]
-        geo = self.device.cache
-        l1_lines = geo.l1_size_bytes // geo.line_bytes
-        num_sets = l1_lines // geo.l1_associativity
-        set_stride = num_sets * geo.line_bytes
+        set_stride = self._conflict_set_stride()
+        out = {}
+        mh = self._hierarchy()
+        if ways_range:
+            span = max(ways_range) * set_stride
+            mh.l1_for_sm(0).reserve_span(span)
+            mh.l2.reserve_span(span)
+        with self._span("conflict_sweep", len(ways_range), iters):
+            for w in ways_range:
+                mh.flush()
+                seq = np.arange(w, dtype=np.int64) * set_stride
+                mh.warm_tlb(0, int(seq[-1]) + 128)
+                eng = ChaseEngine(mh, size=32)
+                eng.run(seq, warmup * w)     # warm pass(es)
+                out[w] = eng.run(seq, iters).mean_latency_clk
+        return out
+
+    def conflict_sweep_scalar(self, ways_range: List[int],
+                              iters: Optional[int] = None) \
+            -> Dict[int, float]:
+        """Scalar reference for :meth:`conflict_sweep` (the
+        executable spec)."""
+        if iters is None:
+            iters = self.budget["conflict_iters"]
+        warmup = 1 + self.budget["warmup_passes"]
+        set_stride = self._conflict_set_stride()
         out = {}
         with self._span("conflict_sweep", len(ways_range), iters):
             for w in ways_range:
@@ -243,12 +372,18 @@ class CacheProbe:
                 for _ in range(warmup):      # warm pass(es)
                     for a in addrs:
                         mh.load(a, 32, sm_id=0)
-                total = 0.0
+                lats = np.empty(iters)
                 for i in range(iters):
-                    total += mh.load(addrs[i % w], 32,
-                                     sm_id=0).latency_clk
-                out[w] = total / iters
+                    lats[i] = mh.load(addrs[i % w], 32,
+                                      sm_id=0).latency_clk
+                out[w] = chase_total_clk(latency_counts(lats)) / iters
         return out
+
+    def _conflict_set_stride(self) -> int:
+        geo = self.device.cache
+        l1_lines = geo.l1_size_bytes // geo.line_bytes
+        num_sets = l1_lines // geo.l1_associativity
+        return num_sets * geo.line_bytes
 
     def detect_l1_ways(self, max_ways: int = 16) -> int:
         """Largest same-set working set that still hits in L1."""

@@ -1,0 +1,304 @@
+"""Steady-state pointer-chase engine.
+
+Every chase the paper's methodology runs — capacity sweeps, stride
+sweeps, conflict ladders, the Table IV per-level probes — walks a
+*periodic* address stream: a pointer chain (or modular walk) of period
+``P`` replayed for ``iters`` accesses.  The driving loop used to step
+the hierarchy one scalar ``load()`` at a time, which made the chase
+the last Python-rate hot loop in the simulator.
+
+:class:`ChaseEngine` exploits the periodicity instead of paying for
+it.  It simulates whole periods through the batched
+:meth:`~repro.memory.hierarchy.MemoryHierarchy.load_many` path —
+grouped into "superlaps" of several periods so short chains still
+move in efficiently sized batches (any multiple of the period is
+itself a period) — and fingerprints each superlap with
+
+* the per-access latency vector and serving levels,
+* the per-access TLB hit bits, and
+* a canonical digest of every piece of state the stream can see:
+  the touched L1/L2 sets (resident lines, sector masks, relative LRU
+  rank — see :meth:`SetAssociativeCache.state_digest`) and the TLB's
+  recency order.
+
+When two consecutive laps fingerprint equal, the chase has reached a
+fixed point: the digest captures all behaviour-relevant state
+ordinally (LRU decisions compare stamps, never read them), so every
+future lap must repeat the confirming lap's outcomes *and* its
+counter increments exactly.  The engine then accounts the remaining
+whole laps analytically — outcome counts, ``CacheStats`` fields,
+TLB hit/miss totals and the active :class:`ObsSession` counter bank
+all advance by ``k ×`` the confirming lap's delta — and simulates
+only the final partial lap, which by the same equivalence argument
+is exact.  Nothing about the result is approximate; the scalar chase
+loops are preserved as executable specs (``*_scalar``) and property
+tests assert exact cycle totals and counter-bank equality.
+
+Summed cycles are computed with :func:`chase_total_clk` — a
+count-weighted sum over the distinct latency values in ascending
+order — on the engine *and* spec paths, so totals compare bit-equal
+regardless of how many laps were extrapolated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.isa.memory_ops import CacheOp
+from repro.memory.hierarchy import (BatchAccessResult, MemLevel,
+                                    MemoryHierarchy)
+
+__all__ = ["ChaseEngine", "ChaseStats", "chase_total_clk",
+           "latency_counts"]
+
+#: target accesses per simulated batch: laps are grouped into
+#: "superlaps" of ``ceil(_BATCH_TARGET / period)`` periods so short
+#: chains still move through ``load_many`` in efficiently sized calls.
+#: Any multiple of the period is itself a period, so fixed-point
+#: detection on superlap signatures is exactly as sound as on single
+#: laps — it just confirms after at most two superlaps instead of two
+#: laps.
+_BATCH_TARGET = 512
+
+
+def latency_counts(latencies: Union[Sequence[float], np.ndarray]) \
+        -> Dict[float, int]:
+    """Histogram a latency stream into ``{value: count}``."""
+    values, counts = np.unique(np.asarray(latencies, dtype=np.float64),
+                               return_counts=True)
+    return dict(zip(values.tolist(), counts.tolist()))
+
+
+def chase_total_clk(counts: Mapping[float, int]) -> float:
+    """Total cycles of a chase from its latency histogram.
+
+    Summation order is fixed (ascending latency value, one multiply
+    per distinct value), so any two paths that agree on the histogram
+    — e.g. a scalar loop and an engine that extrapolated most of its
+    laps — produce bit-identical totals.
+    """
+    total = 0.0
+    for value in sorted(counts):
+        total += value * counts[value]
+    return total
+
+
+@dataclass(frozen=True)
+class ChaseStats:
+    """Outcome of one engine chase, exact in every count."""
+
+    iters: int
+    latency_counts: Dict[float, int]
+    level_counts: Dict[MemLevel, int]
+    tlb_hits: int
+    #: accesses resolved by simulation vs accounted analytically
+    simulated: int = 0
+    extrapolated: int = 0
+
+    @property
+    def total_latency_clk(self) -> float:
+        return chase_total_clk(self.latency_counts)
+
+    @property
+    def mean_latency_clk(self) -> float:
+        return self.total_latency_clk / self.iters if self.iters \
+            else 0.0
+
+    def at_level(self, level: MemLevel) -> float:
+        """Fraction of accesses served at ``level``."""
+        if not self.iters:
+            return 0.0
+        return self.level_counts.get(level, 0) / self.iters
+
+
+class ChaseEngine:
+    """Runs periodic chase workloads on one
+    :class:`MemoryHierarchy` (see module docstring).
+
+    Parameters mirror the scalar chase loops: ``size`` is the access
+    width, ``cache_op`` the PTX cache operator, ``sm_id`` the issuing
+    SM.  The engine shares the hierarchy's observability sink, so a
+    chase fires exactly the counters the equivalent scalar loop
+    would.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy, *, size: int = 32,
+                 sm_id: int = 0,
+                 cache_op: CacheOp = CacheOp.CACHE_ALL) -> None:
+        self.hierarchy = hierarchy
+        self.size = size
+        self.sm_id = sm_id
+        self.cache_op = cache_op
+
+    # -- the drive loop -----------------------------------------------------
+
+    def run(self, seq: Union[Sequence[int], np.ndarray],
+            iters: int) -> ChaseStats:
+        """Chase ``iters`` accesses through the periodic address
+        stream ``seq`` (access ``i`` goes to ``seq[i % len(seq)]``),
+        exactly as a scalar loop would."""
+        seq = np.ascontiguousarray(seq, dtype=np.int64)
+        period = len(seq)
+        if period == 0:
+            raise ValueError("need a non-empty address sequence")
+        if iters < 0:
+            raise ValueError("iters must be non-negative")
+
+        h = self.hierarchy
+        l1 = h.l1_for_sm(self.sm_id) if self.cache_op.allocates_l1 \
+            else None
+        l2 = h.l2
+        # touched-set lists are only needed to take a signature; many
+        # chases (short budgets relative to the period) never take one
+        l1_sets = l2_sets = None
+
+        # a superlap = ``batch`` whole periods, simulated in one
+        # load_many call; the stream is periodic in it too.  Short
+        # chains (conflict ladders) stay at batch=1: their laps are
+        # too concentrated for the caches' lockstep path, and per-lap
+        # signatures reach the fixed point after a handful of
+        # simulated accesses instead of hundreds.
+        if period >= 32:
+            batch = max(1, -(-_BATCH_TARGET // period))
+        else:
+            batch = 1
+        superlap = batch * period
+        if batch > 1:
+            stream = np.tile(seq, batch)
+        else:
+            stream = seq
+
+        counts: Dict[float, int] = {}
+        levels: Dict[MemLevel, int] = {}
+        tlb_hits = 0
+        simulated = extrapolated = 0
+
+        obs = h._obs
+        prev_sig: Optional[bytes] = None
+        done = 0
+        while done < iters:
+            remaining = iters - done
+            if remaining < superlap:
+                # tail: fewer accesses than one superlap.  Outcome
+                # histograms don't care about lap boundaries, so the
+                # whole tail is one batched call.  When it follows a
+                # detected fixed point this is still exact — the
+                # steady state is digest-equivalent to the state the
+                # true tail would have started from.
+                res = self._lap(stream[:remaining])
+                self._absorb(res, counts, levels)
+                tlb_hits += res.tlb_hits
+                simulated += remaining
+                done = iters
+                break
+            obs_snap = obs.as_dict() if obs.enabled else None
+            stat_snap = self._stats_snapshot(l1, l2)
+            res = self._lap(stream)
+            self._absorb(res, counts, levels)
+            tlb_hits += res.tlb_hits
+            simulated += superlap
+            done += superlap
+            # A signature only pays if a comparison can still save
+            # work: comparing needs a *next* full superlap (whose own
+            # signature requires ``done + superlap <= iters`` then),
+            # and a first-of-a-pair signature additionally needs ≥ 1
+            # extrapolatable lap beyond that comparison point.  Both
+            # conditions are monotone in ``done``, so skipping never
+            # breaks the consecutive-lap invariant — once skipped,
+            # no later lap takes a signature either.
+            if done + superlap <= iters and \
+                    (prev_sig is not None
+                     or done + 2 * superlap <= iters):
+                if l2_sets is None:
+                    l1_sets = np.unique(
+                        (seq // l1.line_bytes) % l1.num_sets) \
+                        if l1 is not None else None
+                    l2_sets = np.unique(
+                        (seq // l2.line_bytes) % l2.num_sets)
+                sig = self._signature(res, l1, l1_sets, l2, l2_sets)
+                if sig == prev_sig:
+                    # fixed point: account the remaining whole
+                    # superlaps analytically from the confirming
+                    # superlap's deltas
+                    k = (iters - done) // superlap
+                    if k:
+                        self._absorb(res, counts, levels, scale=k)
+                        tlb_hits += res.tlb_hits * k
+                        self._scale_stats(l1, l2, stat_snap, k)
+                        if obs.enabled:
+                            obs.add_scaled(obs.delta_since(obs_snap),
+                                           k)
+                        extrapolated += k * superlap
+                        done += k * superlap
+                prev_sig = sig
+        return ChaseStats(iters=iters, latency_counts=counts,
+                          level_counts=levels, tlb_hits=tlb_hits,
+                          simulated=simulated,
+                          extrapolated=extrapolated)
+
+    # -- internals ----------------------------------------------------------
+
+    def _lap(self, addrs: np.ndarray) -> BatchAccessResult:
+        return self.hierarchy.load_many(addrs, self.size,
+                                        sm_id=self.sm_id,
+                                        cache_op=self.cache_op)
+
+    @staticmethod
+    def _absorb(res: BatchAccessResult, counts: Dict[float, int],
+                levels: Dict[MemLevel, int], scale: int = 1) -> None:
+        values, n = np.unique(res.latency_clk, return_counts=True)
+        for v, c in zip(values.tolist(), n.tolist()):
+            counts[v] = counts.get(v, 0) + c * scale
+        for lvl, c in res.level_counts.items():
+            if c:
+                levels[lvl] = levels.get(lvl, 0) + c * scale
+
+    def _signature(self, res: BatchAccessResult, l1, l1_sets, l2,
+                   l2_sets) -> bytes:
+        """Fingerprint of one lap: its outcomes plus the canonical
+        digest of all state the stream can observe afterwards."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(res.latency_clk.tobytes())
+        h.update(res.levels.tobytes())
+        h.update(res.tlb_hit.tobytes())
+        if l1 is not None:
+            h.update(l1.state_digest(l1_sets))
+        h.update(l2.state_digest(l2_sets))
+        h.update(self.hierarchy.tlb.state_digest())
+        return h.digest()
+
+    def _stats_snapshot(self, l1, l2):
+        def cache_fields(c):
+            s = c.stats
+            return (s.accesses, s.hits, s.sector_misses, s.tag_misses,
+                    s.evictions)
+
+        tlb = self.hierarchy.tlb
+        return (cache_fields(l1) if l1 is not None else None,
+                cache_fields(l2), (tlb.hits, tlb.misses))
+
+    def _scale_stats(self, l1, l2, snap, k: int) -> None:
+        """Advance ``CacheStats`` / TLB totals by ``k`` laps' worth of
+        the deltas recorded since ``snap``."""
+        l1_snap, l2_snap, tlb_snap = snap
+
+        def bump(c, before):
+            s = c.stats
+            now = (s.accesses, s.hits, s.sector_misses, s.tag_misses,
+                   s.evictions)
+            s.accesses += (now[0] - before[0]) * k
+            s.hits += (now[1] - before[1]) * k
+            s.sector_misses += (now[2] - before[2]) * k
+            s.tag_misses += (now[3] - before[3]) * k
+            s.evictions += (now[4] - before[4]) * k
+
+        if l1 is not None:
+            bump(l1, l1_snap)
+        bump(l2, l2_snap)
+        tlb = self.hierarchy.tlb
+        tlb.hits += (tlb.hits - tlb_snap[0]) * k
+        tlb.misses += (tlb.misses - tlb_snap[1]) * k

@@ -22,7 +22,7 @@ from repro.memory.tlb import Tlb
 from repro.obs.session import counters_or_null
 
 __all__ = ["MemLevel", "AccessResult", "BatchAccessResult",
-           "MemoryHierarchy"]
+           "LEVEL_CODES", "MemoryHierarchy"]
 
 
 class MemLevel(enum.Enum):
@@ -50,6 +50,11 @@ class BatchAccessResult:
     latency_clk: np.ndarray       # per-access total latency
     level_counts: Dict[MemLevel, int]
     tlb_hits: int
+    #: per-access serving level as uint8 codes (index into
+    #: :data:`LEVEL_CODES`) — cheap to compare/hash batch-to-batch
+    levels: np.ndarray = None
+    #: per-access TLB hit booleans
+    tlb_hit: np.ndarray = None
 
     @property
     def accesses(self) -> int:
@@ -58,6 +63,10 @@ class BatchAccessResult:
     @property
     def mean_latency_clk(self) -> float:
         return float(self.latency_clk.mean()) if self.accesses else 0.0
+
+
+#: order of the uint8 codes in :attr:`BatchAccessResult.levels`
+LEVEL_CODES = (MemLevel.L1, MemLevel.L2, MemLevel.GLOBAL)
 
 
 class MemoryHierarchy:
@@ -170,6 +179,12 @@ class MemoryHierarchy:
         n = len(a)
         if n and int(a.min()) < 0:
             raise ValueError("negative address")
+        if 0 < n < 32:
+            # tiny batches (conflict-ladder laps): a loop of scalar
+            # loads costs less than the vectorized set-up and is the
+            # batch semantics by definition
+            return self._load_small(a, size, sm_id=sm_id,
+                                    cache_op=cache_op)
         lat = self.device.mem_latencies
         tlb_hit = self._tlb_access_many(a)
         extra = np.where(tlb_hit, 0.0, lat.tlb_miss_clk)
@@ -194,8 +209,10 @@ class MemoryHierarchy:
             counts = {MemLevel.L1: n_l1, MemLevel.L2: n_l2,
                       MemLevel.GLOBAL: n - n_l1 - n_l2}
             obs.add("mem.loads", n)
-            obs.add("mem.tlb.hits", n_tlb)
-            obs.add("mem.tlb.misses", n - n_tlb)
+            if n_tlb:
+                obs.add("mem.tlb.hits", n_tlb)
+            if n - n_tlb:
+                obs.add("mem.tlb.misses", n - n_tlb)
             served = {MemLevel.L1: l1_hit,
                       MemLevel.L2: l2_hit & ~l1_hit,
                       MemLevel.GLOBAL: ~(l1_hit | l2_hit)}
@@ -204,31 +221,44 @@ class MemoryHierarchy:
                     obs.add(f"mem.bytes.{lvl.value}", cnt * size)
                     obs.observe_many(f"mem.latency.{lvl.value}",
                                      latency[served[lvl]])
+        levels = np.full(n, 2, dtype=np.uint8)
+        levels[l2_hit] = 1
+        levels[l1_hit] = 0
         return BatchAccessResult(
             latency_clk=latency,
             level_counts={MemLevel.L1: n_l1, MemLevel.L2: n_l2,
                           MemLevel.GLOBAL: n - n_l1 - n_l2},
             tlb_hits=n_tlb,
+            levels=levels,
+            tlb_hit=tlb_hit,
+        )
+
+    def _load_small(self, a: np.ndarray, size: int, *, sm_id: int,
+                    cache_op: CacheOp) -> BatchAccessResult:
+        """Scalar-loop body of :meth:`load_many` for tiny batches."""
+        n = len(a)
+        latency = np.empty(n, dtype=np.float64)
+        levels = np.empty(n, dtype=np.uint8)
+        tlb_hit = np.empty(n, dtype=bool)
+        counts = {lvl: 0 for lvl in LEVEL_CODES}
+        load = self.load
+        for i, addr in enumerate(a.tolist()):
+            r = load(addr, size, sm_id=sm_id, cache_op=cache_op)
+            latency[i] = r.latency_clk
+            levels[i] = LEVEL_CODES.index(r.level)
+            tlb_hit[i] = r.tlb_hit
+            counts[r.level] += 1
+        return BatchAccessResult(
+            latency_clk=latency,
+            level_counts=counts,
+            tlb_hits=int(tlb_hit.sum()),
+            levels=levels,
+            tlb_hit=tlb_hit,
         )
 
     def _tlb_access_many(self, addrs: np.ndarray) -> np.ndarray:
-        """Per-access TLB hit booleans, equivalent to sequential
-        :meth:`Tlb.access` calls (runs of one page collapse: the first
-        access decides, the repeats are guaranteed hits)."""
-        n = len(addrs)
-        hits = np.empty(n, dtype=bool)
-        if not n:
-            return hits
-        pages = addrs // self.tlb.page_bytes
-        starts = np.flatnonzero(np.r_[True, pages[1:] != pages[:-1]])
-        ends = np.r_[starts[1:], n]
-        for s, e, page in zip(starts.tolist(), ends.tolist(),
-                              pages[starts].tolist()):
-            hits[s] = self.tlb.access(page * self.tlb.page_bytes)
-            if e > s + 1:
-                hits[s + 1:e] = True
-                self.tlb.hits += e - s - 1
-        return hits
+        """Per-access TLB hit booleans — see :meth:`Tlb.access_many`."""
+        return self.tlb.access_many(addrs)
 
     # -- warm-up helpers used by the microbenchmarks ---------------------------
 

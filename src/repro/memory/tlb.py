@@ -10,6 +10,9 @@ pays nothing.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Sequence, Union
+
+import numpy as np
 
 __all__ = ["Tlb"]
 
@@ -40,6 +43,45 @@ class Tlb:
             self._pages.popitem(last=False)
         return False
 
+    def access_many(self, addrs: Union[Sequence[int], np.ndarray]) \
+            -> np.ndarray:
+        """Batched :meth:`access` — per-access hit booleans, identical
+        to sequential calls.
+
+        When every touched page is already resident nothing can be
+        evicted, so the whole batch hits and only the recency order
+        needs fixing: each touched page moves to the MRU end in order
+        of its *last* occurrence.  Otherwise runs of one page collapse
+        (the first access decides, the repeats are guaranteed hits) and
+        the run heads replay through :meth:`access`.
+        """
+        a = np.ascontiguousarray(addrs, dtype=np.int64)
+        n = len(a)
+        hits = np.empty(n, dtype=bool)
+        if not n:
+            return hits
+        pages = a // self.page_bytes
+        uniq = np.unique(pages)
+        resident = self._pages
+        if all(int(p) in resident for p in uniq):
+            hits.fill(True)
+            self.hits += n
+            rev_uniq, rev_idx = np.unique(pages[::-1],
+                                          return_index=True)
+            last = n - 1 - rev_idx          # last occurrence per page
+            for p in rev_uniq[np.argsort(last)].tolist():
+                resident.move_to_end(p)
+            return hits
+        starts = np.flatnonzero(np.r_[True, pages[1:] != pages[:-1]])
+        ends = np.r_[starts[1:], n]
+        for s, e, page in zip(starts.tolist(), ends.tolist(),
+                              pages[starts].tolist()):
+            hits[s] = self.access(page * self.page_bytes)
+            if e > s + 1:
+                hits[s + 1:e] = True
+                self.hits += e - s - 1
+        return hits
+
     def warm(self, base: int, size: int) -> None:
         """Touch every page of [base, base+size)."""
         page = base // self.page_bytes
@@ -55,3 +97,13 @@ class Tlb:
     @property
     def resident_pages(self) -> int:
         return len(self._pages)
+
+    def state_digest(self) -> bytes:
+        """Digest of the resident pages *in recency order* — the full
+        behavioural state of an LRU TLB (hit/miss counts excluded:
+        they are outcomes, not state)."""
+        import hashlib
+
+        arr = np.fromiter(self._pages.keys(), dtype=np.int64,
+                          count=len(self._pages))
+        return hashlib.blake2b(arr.tobytes(), digest_size=16).digest()

@@ -123,6 +123,23 @@ class CounterSet:
         return json.dumps(self.as_dict(), sort_keys=True,
                           separators=(",", ":"))
 
+    def delta_since(self, snapshot: Mapping[str, int]) \
+            -> Dict[str, int]:
+        """Counter increments since ``snapshot`` (a prior
+        :meth:`as_dict`).  Counters are monotonic, so every live key
+        dominates the snapshot and the delta is non-negative."""
+        return {k: d for k, v in self._counters.items()
+                if (d := v - snapshot.get(k, 0))}
+
+    def add_scaled(self, delta: Mapping[str, int], k: int) -> None:
+        """Apply ``delta`` ``k`` times over — how a steady-state
+        engine accounts the counters of extrapolated iterations
+        without replaying them."""
+        if k <= 0:
+            return
+        for name, value in delta.items():
+            self.add(name, value * k)
+
     # -- composition --------------------------------------------------------
 
     def merge(self,

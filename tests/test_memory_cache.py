@@ -250,3 +250,123 @@ class TestScalarEquivalence:
         c2.warm(0, 1024, record=True)
         assert c2.stats.accesses == 1024 // 32
         assert c2.resident_bytes == c.resident_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=1 << 12),
+           st.integers(min_value=33, max_value=200))
+    def test_warm_overflow_equivalence(self, base, n_sectors):
+        """Warms spanning more lines than sets (the closed form's grid
+        regime, where LRU keeps only the tail of each set) leave
+        *exactly* the state the scalar model leaves — including the
+        recency stamps later evictions decide on."""
+        from repro.memory import ScalarSetAssociativeCache
+
+        base = (base // 32) * 32
+        size = n_sectors * 32
+        vec = small_cache()
+        ref = ScalarSetAssociativeCache(
+            4096, line_bytes=128, sector_bytes=32, ways=4, name="ref")
+        vec.warm(base, size, record=True)
+        ref.warm(base, size)
+        assert vec.stats == ref.stats
+        touched = list(range(base, base + size, 32))
+        assert _state_fingerprint(vec, touched) == \
+            _state_fingerprint(ref, touched)
+        # follow-up conflict accesses exercise the warmed LRU state
+        for i in range(40):
+            a = (base + i * 1024 + 32 * (i % 4)) % (1 << 14)
+            assert vec.access(a) == ref.access(a), (i, a)
+        assert vec.stats == ref.stats
+
+    def test_bulk_then_scalar_sequence(self):
+        """A bulk fill may defer index bookkeeping; scalar accesses
+        right after it must still behave exactly like a cache that
+        took every access one at a time."""
+        import numpy as np
+
+        bulk = small_cache()
+        bulk.access_many(np.arange(0, 2048, 32, dtype=np.int64))
+        seq = small_cache()
+        for a in range(0, 2048, 32):
+            seq.access(a)
+        for a in (0, 64, 4096, 96, 8192, 0):
+            assert bulk.access(a) == seq.access(a), a
+        assert bulk.stats == seq.stats
+
+
+class TestAllocationRetention:
+    """``flush()`` empties the cache without discarding grown
+    matrices; a flushed cache must be observationally identical to a
+    brand-new one."""
+
+    def test_flush_behaves_like_fresh(self):
+        used = small_cache()
+        for a in range(0, 1 << 14, 96):
+            used.access(a, 64)
+        used.flush()
+        assert used.resident_bytes == 0
+        assert used.stats.accesses == 0
+        fresh = small_cache()
+        stream = [(a * 37) % (1 << 14) for a in range(300)]
+        for a in stream:
+            assert used.access(a) == fresh.access(a), a
+        assert used.stats == fresh.stats
+        assert _state_fingerprint(used, stream) == \
+            _state_fingerprint(fresh, stream)
+
+    def test_flushed_warm_matches_fresh_warm(self):
+        used = small_cache()
+        used.warm(0, 4096)
+        used.flush()
+        fresh = small_cache()
+        used.warm(64, 2048, record=True)
+        fresh.warm(64, 2048, record=True)
+        assert used.stats == fresh.stats
+        touched = list(range(64, 64 + 2048, 32))
+        assert _state_fingerprint(used, touched) == \
+            _state_fingerprint(fresh, touched)
+
+    def test_reserve_span_is_behaviour_neutral(self):
+        plain = small_cache()
+        sized = small_cache()
+        sized.reserve_span(1 << 20)   # clamps at the geometry
+        sized.reserve_span(0)         # no-op
+        stream = [(a * 13) % (1 << 13) for a in range(200)]
+        for addr in stream:
+            assert plain.access(addr) == sized.access(addr)
+        assert plain.stats == sized.stats
+        assert _state_fingerprint(plain, stream) == \
+            _state_fingerprint(sized, stream)
+
+
+class TestPrefixGrowth:
+    """Set matrices start small and grow on demand; behaviour must
+    not depend on when (or whether) growth happens."""
+
+    def test_high_set_then_low_set(self):
+        # 4096 sets — well beyond the initial allocation
+        c = SetAssociativeCache(1 << 20, line_bytes=128,
+                                sector_bytes=32, ways=2, name="big")
+        hi = 4000 * 128
+        assert not c.access(hi)
+        assert c.access(hi)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.resident_bytes == 64
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 22),
+                    min_size=1, max_size=80))
+    def test_large_cache_matches_scalar_reference(self, addrs):
+        from repro.memory import ScalarSetAssociativeCache
+
+        vec = SetAssociativeCache(1 << 20, line_bytes=128,
+                                  sector_bytes=32, ways=2, name="big")
+        ref = ScalarSetAssociativeCache(
+            1 << 20, line_bytes=128, sector_bytes=32, ways=2,
+            name="ref")
+        for a in addrs:
+            assert vec.access(a) == ref.access(a)
+        assert vec.stats == ref.stats
+        assert _state_fingerprint(vec, addrs) == \
+            _state_fingerprint(ref, addrs)

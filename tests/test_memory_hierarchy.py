@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.isa.memory_ops import CacheOp
 from repro.memory import DramChannel, MemLevel, MemoryHierarchy, Tlb
@@ -39,6 +41,46 @@ class TestTlb:
     def test_validation(self):
         with pytest.raises(ValueError):
             Tlb(entries=0)
+
+
+class TestTlbBatch:
+    """``access_many`` is access-for-access identical to a sequential
+    loop of ``access`` calls — hit bits, counters and the LRU recency
+    order (the full behavioural state) all agree."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(pages=st.lists(st.integers(min_value=0, max_value=12),
+                          min_size=0, max_size=80),
+           entries=st.integers(min_value=1, max_value=8))
+    def test_access_many_matches_sequential(self, pages, entries):
+        page_bytes = 4096
+        addrs = [p * page_bytes + (p % 7) * 16 for p in pages]
+        batched = Tlb(entries=entries, page_bytes=page_bytes)
+        seq = Tlb(entries=entries, page_bytes=page_bytes)
+        got = batched.access_many(np.asarray(addrs, dtype=np.int64))
+        want = [seq.access(a) for a in addrs]
+        assert got.tolist() == want
+        assert (batched.hits, batched.misses) == (seq.hits, seq.misses)
+        assert batched.state_digest() == seq.state_digest()
+        assert batched.resident_pages == seq.resident_pages
+
+    def test_all_resident_batch_updates_recency(self):
+        """The all-hit fast path must still move touched pages to the
+        MRU end (by last occurrence), or a later eviction would pick
+        the wrong victim."""
+        t = Tlb(entries=2, page_bytes=4096)
+        t.access(0)
+        t.access(4096)
+        hits = t.access_many(np.asarray([0, 4096, 0]))
+        assert hits.all()
+        t.access(2 * 4096)           # evicts the LRU page: page 1
+        assert t.access(0)
+        assert not t.access(4096)
+
+    def test_empty_batch(self):
+        t = Tlb()
+        assert len(t.access_many(np.asarray([], dtype=np.int64))) == 0
+        assert t.hits == 0 and t.misses == 0
 
 
 class TestDramChannel:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.memory import PChase, measure_latencies
-from repro.memory.pchase import _chain
+from repro.memory.pchase import _chain, _coprime_stride
 
 #: Table IV reference values
 PAPER_TABLE4 = {
@@ -41,6 +41,40 @@ class TestChain:
         with pytest.raises(ValueError):
             _chain(1)
 
+    def test_strided_chain_visits_all(self):
+        nxt = _chain(15, stride_entries=4)  # 4 is coprime with 15
+        seen, idx = set(), 0
+        for _ in range(15):
+            seen.add(idx)
+            idx = int(nxt[idx])
+        assert seen == set(range(15))
+        assert idx == 0
+
+    def test_noncoprime_stride_adjusted_not_dropped(self):
+        """A stride sharing a factor with n must not collapse to a
+        sequential walk — it snaps to the nearest coprime stride and
+        still visits every entry."""
+        nxt = _chain(16, stride_entries=4)  # gcd 4 → adjusted
+        seen, idx = set(), 0
+        hops = []
+        for _ in range(16):
+            seen.add(idx)
+            hops.append(idx)
+            idx = int(nxt[idx])
+        assert seen == set(range(16))
+        # the walk kept its strided character (nearest coprime is 3)
+        assert hops[1] == 3
+
+    def test_coprime_stride_selection(self):
+        assert _coprime_stride(16, 1) == 1
+        assert _coprime_stride(16, 4) == 3   # tie prefers the smaller
+        assert _coprime_stride(15, 6) == 7   # 5 shares a factor, 7 not
+        assert _coprime_stride(12, 6) == 5
+
+    def test_stride_below_one_rejected(self):
+        with pytest.raises(ValueError, match="stride_entries"):
+            _chain(16, stride_entries=0)
+
 
 class TestPerLevelLatency:
     def test_l1(self, any_device):
@@ -75,6 +109,18 @@ class TestPerLevelLatency:
         warm = p.global_latency(iters=128).mean_latency_clk
         cold = p.global_latency_cold_tlb(iters=128).mean_latency_clk
         assert cold > warm + 100
+
+    def test_cold_tlb_pays_exact_miss_penalty(self, tiny_device):
+        """The cold chase strides one entry per page with no init
+        pass, so within the first lap every hop misses L1, L2 *and*
+        the TLB — the mean is exactly the DRAM service latency plus
+        the full TLB-miss penalty (the regime the paper's warm-up
+        initialisation exists to avoid, §III-A4)."""
+        lat = tiny_device.mem_latencies
+        r = PChase(tiny_device).global_latency_cold_tlb(iters=128)
+        assert r.hits_at_level == 1.0   # every access served by DRAM
+        assert r.mean_latency_clk == pytest.approx(
+            lat.l2_hit_clk + lat.dram_clk + lat.tlb_miss_clk)
 
 
 class TestTable4:
