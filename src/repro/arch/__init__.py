@@ -2,8 +2,10 @@
 
 This subpackage holds the architectural ground truth the rest of the
 simulator derives behaviour from: SM counts, clock domains, cache
-geometry, per-unit widths and the feature matrix that distinguishes
-Ampere, Ada Lovelace and Hopper (Table III of the paper).
+geometry, per-unit widths and — via :mod:`repro.arch.packs` — the
+per-generation capability flags and calibration tables that
+distinguish Volta, Ampere, Ada Lovelace, Hopper and Blackwell
+(Table III of the paper, extended).
 
 Only *primitive* quantities live here — published spec-sheet values and
 single-number microbenchmark calibrations (e.g. an L1 hit latency).
@@ -13,6 +15,19 @@ subsystem models, never stored.
 
 from __future__ import annotations
 
+from repro.arch.packs import (
+    ArchPack,
+    AsyncCopyCalibration,
+    DsmCalibration,
+    MmaCalibration,
+    PackValidationError,
+    PowerCalibration,
+    WgmmaCalibration,
+    get_pack,
+    list_packs,
+    register_pack,
+    validate_pack,
+)
 from repro.arch.specs import (
     Architecture,
     CacheGeometry,
@@ -24,6 +39,7 @@ from repro.arch.specs import (
     TensorCoreSpec,
 )
 from repro.arch.registry import (
+    PAPER_DEVICES,
     get_device,
     list_devices,
     register_device,
@@ -31,16 +47,28 @@ from repro.arch.registry import (
 )
 
 __all__ = [
+    "ArchPack",
     "Architecture",
+    "AsyncCopyCalibration",
     "CacheGeometry",
     "ClockDomain",
     "DeviceSpec",
     "DramSpec",
+    "DsmCalibration",
     "MemoryLatencies",
     "MemoryWidths",
+    "MmaCalibration",
+    "PackValidationError",
+    "PowerCalibration",
     "TensorCoreSpec",
+    "WgmmaCalibration",
+    "PAPER_DEVICES",
     "get_device",
+    "get_pack",
     "list_devices",
+    "list_packs",
     "register_device",
+    "register_pack",
+    "validate_pack",
     "DEVICES",
 ]

@@ -1,14 +1,25 @@
 """Built-in device presets and the device registry.
 
-The three presets mirror the paper's testbed (Table III):
+The first three presets mirror the paper's testbed (Table III):
 
 * ``A100``  — Nvidia A100 PCIe 40 GB (Ampere, sm_80)
 * ``RTX4090`` — Nvidia GeForce RTX 4090 (Ada Lovelace, sm_89)
 * ``H800``  — Nvidia H800 PCIe 80 GB (Hopper, sm_90)
 
+Two lineage presets ride on the architecture packs and stress that
+nothing Hopper-specific is hard-coded in the engines:
+
+* ``V100``  — Tesla V100 PCIe 32 GB (Volta, sm_70), grounded in the
+  GPU-lineage study (arXiv 2106.04979): pre-``cp.async``, 1st-gen
+  FP16-only tensor cores, no wgmma/TMA/DSM/DPX/FP8.
+* ``B200``  — B200 SXM 192 GB (Blackwell, sm_100), grounded in the
+  Blackwell microbenchmark study (arXiv 2507.10789): 5th-gen tensor
+  cores driven through tcgen05 + tensor memory, no wgmma ISA.
+
 Primitive calibration values (hit latencies, unit widths) come from the
-paper's own single-number measurements and public spec sheets; see
-DESIGN.md §6 for the parameter-vs-derived contract.
+papers' own single-number measurements and public spec sheets; see
+DESIGN.md §6 and docs/architecture-packs.md for the
+parameter-vs-derived contract.
 """
 
 from __future__ import annotations
@@ -33,11 +44,21 @@ def register_device(spec: DeviceSpec, *, overwrite: bool = False) -> None:
     """Add a device to the registry.
 
     Third-party code can register additional GPUs (e.g. an H100 SXM
-    variant) and run every experiment against them.
+    variant) and run every experiment against them.  The spec must be
+    coherent with its architecture pack: the tensor-core generation a
+    device claims has to match the generation its pack calibrates.
     """
     key = spec.name.upper()
     if key in DEVICES and not overwrite:
         raise ValueError(f"device {spec.name!r} is already registered")
+    pack = spec.pack
+    if spec.tensor_core.generation != pack.tensor_core_generation:
+        raise ValueError(
+            f"device {spec.name!r}: TensorCoreSpec.generation="
+            f"{spec.tensor_core.generation} disagrees with the "
+            f"{pack.name!r} pack (generation "
+            f"{pack.tensor_core_generation})"
+        )
     DEVICES[key] = spec
 
 
@@ -246,7 +267,126 @@ _H800 = DeviceSpec(
     max_cluster_size=16,
 )
 
-for _spec in (_A100, _RTX4090, _H800):
+_V100 = DeviceSpec(
+    name="V100",
+    marketing_name="Tesla V100 PCIe",
+    architecture=Architecture.VOLTA,
+    num_sms=80,
+    cuda_cores_per_sm=64,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    clocks=ClockDomain(
+        base_sm_mhz=1245.0,
+        boost_sm_mhz=1380.0,
+        observed_sm_mhz=1312.0,
+        memory_mhz=877.0,
+    ),
+    cache=CacheGeometry(
+        l1_size_kib=128,
+        shared_max_kib=96,
+        l2_size_kib=6 * 1024,
+        l2_partitions=1,
+    ),
+    mem_latencies=MemoryLatencies(
+        shared_clk=19.0,
+        l1_hit_clk=28.0,
+        l2_hit_clk=193.0,
+        dram_clk=161.0,
+    ),
+    mem_widths=MemoryWidths(
+        l1_bytes_per_clk_sm=128.0,
+        smem_bytes_per_clk_sm=128.0,
+        l2_bytes_per_clk=1600.0,
+        lsu_issue_per_clk=0.45,
+        # Volta keeps 1:2-rate FP64 (strong HPC part): the FP64 add
+        # chain never bottlenecks the cache probe.
+        fp64_add_bytes_per_clk_sm=128.0,
+    ),
+    dram=DramSpec(
+        size_gib=32,
+        mem_type="HBM2",
+        bus_width_bits=4096,
+        peak_bandwidth_gbps=900.0,
+        refresh_overhead=0.035,
+        rw_turnaround_penalty=0.112,
+    ),
+    tensor_core=TensorCoreSpec(
+        count=640,
+        generation=1,
+        # 1st-gen tensor cores: FP16 inputs only — 8 TC/SM × 128
+        # FLOP/clk at boost clock.
+        dense_peak_tflops={
+            "fp16": 113.0,
+        },
+    ),
+    power_cap_watts=250.0,
+    max_cluster_size=1,
+)
+
+_B200 = DeviceSpec(
+    name="B200",
+    marketing_name="B200 SXM",
+    architecture=Architecture.BLACKWELL,
+    num_sms=148,
+    cuda_cores_per_sm=128,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    clocks=ClockDomain(
+        base_sm_mhz=1125.0,
+        boost_sm_mhz=1965.0,
+        observed_sm_mhz=1830.0,
+        memory_mhz=3200.0,
+    ),
+    cache=CacheGeometry(
+        l1_size_kib=256,
+        shared_max_kib=228,
+        l2_size_kib=126 * 1024,
+        l2_partitions=2,
+    ),
+    mem_latencies=MemoryLatencies(
+        shared_clk=29.0,
+        l1_hit_clk=38.9,
+        l2_hit_clk=273.0,
+        dram_clk=211.0,
+        dsm_remote_clk=170.0,
+    ),
+    mem_widths=MemoryWidths(
+        l1_bytes_per_clk_sm=128.0,
+        smem_bytes_per_clk_sm=128.0,
+        l2_bytes_per_clk=7168.0,
+        lsu_issue_per_clk=0.98,
+        # Datacenter Blackwell keeps FP64 de-emphasised like the H800.
+        fp64_add_bytes_per_clk_sm=16.0,
+    ),
+    dram=DramSpec(
+        size_gib=192,
+        mem_type="HBM3e",
+        bus_width_bits=8192,
+        peak_bandwidth_gbps=8000.0,
+        refresh_overhead=0.03,
+        rw_turnaround_penalty=0.106,
+    ),
+    tensor_core=TensorCoreSpec(
+        count=592,
+        generation=5,
+        # 5th-gen peaks (dense, per arXiv 2507.10789); binary tensor
+        # ops are gone, so BMMA pairings price as unsupported.
+        dense_peak_tflops={
+            "fp16": 2250.0,
+            "bf16": 2250.0,
+            "tf32": 1120.0,
+            "fp8": 4500.0,
+            "fp64": 40.0,
+            "int8": 4500.0,
+        },
+    ),
+    power_cap_watts=1000.0,
+    max_cluster_size=16,
+)
+
+for _spec in (_A100, _RTX4090, _H800, _V100, _B200):
     register_device(_spec)
 
 #: The three devices the paper benchmarks, in its presentation order.

@@ -14,61 +14,69 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Optional
+
+from repro.arch.packs import ArchPack, get_pack
 
 
 class Architecture(enum.Enum):
-    """Nvidia GPU architecture generations covered by the paper."""
+    """Nvidia GPU architecture generations the registry models.
 
+    The enum is an *identity*; every per-generation property delegates
+    to the generation's :class:`~repro.arch.packs.ArchPack`, which is
+    the single source of truth for capabilities and calibration.
+    """
+
+    VOLTA = "volta"
     AMPERE = "ampere"
     ADA = "ada"
     HOPPER = "hopper"
+    BLACKWELL = "blackwell"
+
+    @property
+    def pack(self) -> ArchPack:
+        """The generation's declarative data plane."""
+        return get_pack(self.value)
 
     @property
     def compute_capability(self) -> str:
-        return {
-            Architecture.AMPERE: "8.0",
-            Architecture.ADA: "8.9",
-            Architecture.HOPPER: "9.0",
-        }[self]
+        return self.pack.compute_capability
 
     @property
     def tensor_core_generation(self) -> int:
-        return {
-            Architecture.AMPERE: 3,
-            Architecture.ADA: 4,
-            Architecture.HOPPER: 4,
-        }[self]
+        return self.pack.tensor_core_generation
 
     @property
     def has_dpx_hardware(self) -> bool:
-        """Only Hopper implements DPX in hardware (VIMNMX et al.)."""
-        return self is Architecture.HOPPER
+        """DPX hardware (VIMNMX et al.) ships with Hopper."""
+        return self.pack.has_dpx_hardware
 
     @property
     def has_distributed_shared_memory(self) -> bool:
-        """Thread-block clusters + SM-to-SM network are Hopper-only."""
-        return self is Architecture.HOPPER
+        """Thread-block clusters + the SM-to-SM network (Hopper+)."""
+        return self.pack.has_distributed_shared_memory
 
     @property
     def has_wgmma(self) -> bool:
-        """Warp-group MMA (asynchronous tensor core path) is Hopper-only."""
-        return self is Architecture.HOPPER
+        """Warp-group MMA (asynchronous tensor core path), Hopper's
+        ISA only — Blackwell replaces it with tcgen05."""
+        return self.pack.has_wgmma
 
     @property
     def has_tma(self) -> bool:
         """The Tensor Memory Accelerator ships with Hopper."""
-        return self is Architecture.HOPPER
+        return self.pack.has_tma
 
     @property
     def has_cp_async(self) -> bool:
-        """``cp.async`` (async global→shared copies) exists since Ampere."""
-        return True
+        """``cp.async`` (async global→shared copies) exists since
+        Ampere; Volta predates it."""
+        return self.pack.has_cp_async
 
     @property
     def has_fp8(self) -> bool:
-        """FP8 tensor-core inputs exist on Ada and Hopper."""
-        return self in (Architecture.ADA, Architecture.HOPPER)
+        """FP8 tensor-core inputs exist on Ada and later."""
+        return self.pack.has_fp8
 
 
 @dataclass(frozen=True)
@@ -289,12 +297,15 @@ class DeviceSpec:
     tensor_core: TensorCoreSpec
     power_cap_watts: float
     max_cluster_size: int = 1   # >1 only where DSM exists
+    #: substitute a custom ArchPack (third-party devices whose silicon
+    #: deviates from the stock generation data); None = the stock pack
+    pack_override: Optional[ArchPack] = None
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
             raise ValueError("num_sms must be positive")
         if (self.max_cluster_size > 1
-                and not self.architecture.has_distributed_shared_memory):
+                and not self.pack.has_distributed_shared_memory):
             raise ValueError(
                 f"{self.name}: clusters require distributed shared memory"
             )
@@ -302,8 +313,17 @@ class DeviceSpec:
     # -- convenience -----------------------------------------------------
 
     @property
+    def pack(self) -> ArchPack:
+        """The architecture pack this device reads capabilities and
+        calibration from — the stock generation pack unless overridden
+        at registration time."""
+        if self.pack_override is not None:
+            return self.pack_override
+        return self.architecture.pack
+
+    @property
     def compute_capability(self) -> str:
-        return self.architecture.compute_capability
+        return self.pack.compute_capability
 
     @property
     def total_cuda_cores(self) -> int:
@@ -346,7 +366,7 @@ class DeviceSpec:
             "Device": self.marketing_name,
             "Comp. Capability": (
                 f"{self.compute_capability} "
-                f"({self.architecture.value.title()})"
+                f"({self.pack.display_name})"
             ),
             "SMs * cores/SM": f"{self.num_sms} * {self.cuda_cores_per_sm}",
             "Max Clock rate": f"{self.clocks.boost_sm_mhz:.0f} MHz",
@@ -360,10 +380,10 @@ class DeviceSpec:
                 f"({self.tensor_core.generation}th Gen.)"
             ),
             "DPX hardware": (
-                "Yes" if self.architecture.has_dpx_hardware else "No"
+                "Yes" if self.pack.has_dpx_hardware else "No"
             ),
             "Distributed shared memory": (
-                "Yes" if self.architecture.has_distributed_shared_memory
+                "Yes" if self.pack.has_distributed_shared_memory
                 else "No"
             ),
         }

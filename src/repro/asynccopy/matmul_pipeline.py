@@ -34,9 +34,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from repro.arch import Architecture, DeviceSpec
+from repro.arch import DeviceSpec
 from repro.sm.occupancy import BlockConfig, occupancy
 
 __all__ = [
@@ -66,19 +66,10 @@ _SYNC_CONVOY = 0.42
 #: the reason AsyncPipe ends up *slightly behind* SyncShare once 32×32
 #: blocks hide all latency anyway (Table XIII's −1.8 % row)
 _ASYNC_CAP_EFF = 0.98
-#: per-step exposed-latency + software overhead, cycles, calibrated on
-#: the paper's devices: (arch, variant) -> {block_dim: cycles}
-_STEP_OVERHEAD_CLK: Dict[Tuple[Architecture, CopyVariant],
-                         Dict[int, float]] = {
-    (Architecture.HOPPER, CopyVariant.SYNC): {8: 589.0, 16: 427.0,
-                                              32: 155.0},
-    (Architecture.HOPPER, CopyVariant.ASYNC): {8: 360.0, 16: 354.0,
-                                               32: 242.0},
-    (Architecture.AMPERE, CopyVariant.SYNC): {8: 375.0, 16: 447.0,
-                                              32: 140.0},
-    (Architecture.AMPERE, CopyVariant.ASYNC): {8: 375.0, 16: 304.0,
-                                               32: 128.0},
-}
+# Per-step exposed-latency + software overhead calibrations live in the
+# architecture packs (``device.pack.asynccopy.step_overhead_clk``,
+# keyed by CopyVariant value then block_dim); architectures without a
+# calibration fall through to the structural pieces below.
 #: structural fallback pieces for uncalibrated devices
 _BARRIER_CLK = 30.0
 _ASYNC_OVERHEAD_CLK = 90.0
@@ -171,17 +162,22 @@ class TiledMatmulModel:
                 / self.device.mem_widths.l1_bytes_per_clk_sm)
 
     def _overhead_clk(self, cfg: AsyncCopyConfig) -> float:
+        pack = self.device.pack
         lookup_variant = cfg.variant
         if cfg.variant is CopyVariant.TMA:
-            if not self.device.architecture.has_tma:
+            if not pack.has_tma:
                 raise ValueError(
                     f"{self.device.name} has no TMA engine"
                 )
             # TMA inherits the async pipeline's latency exposure with
             # the per-thread bookkeeping stripped out.
             lookup_variant = CopyVariant.ASYNC
-        table = _STEP_OVERHEAD_CLK.get(
-            (self.device.architecture, lookup_variant)
+        elif cfg.variant is CopyVariant.ASYNC and not pack.has_cp_async:
+            raise ValueError(
+                f"{self.device.name} predates cp.async (sm_80+)"
+            )
+        table = pack.asynccopy.step_overhead_clk.get(
+            lookup_variant.value
         )
         if table is not None and cfg.block_dim in table:
             x = table[cfg.block_dim]

@@ -54,7 +54,7 @@ class TmaModel:
     """Per-device TMA cost estimates (Hopper only)."""
 
     def __init__(self, device: DeviceSpec) -> None:
-        if not device.architecture.has_tma:
+        if not device.pack.has_tma:
             raise UnsupportedInstruction(
                 f"{device.name} has no TMA engine (requires Hopper)"
             )

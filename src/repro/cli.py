@@ -57,7 +57,33 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_devices(_args) -> int:
-    for name in list_devices():
+    names = list_devices()
+    # capability matrix — one row per device, straight off each
+    # device's ArchPack, so third-party packs show up automatically
+    flags = (("wgmma", "has_wgmma"), ("tma", "has_tma"),
+             ("dsm", "has_distributed_shared_memory"),
+             ("fp8", "has_fp8"), ("dpx", "has_dpx_hardware"),
+             ("cp.async", "has_cp_async"),
+             ("sparse", "has_sparse_mma"))
+    header = (["Device", "Arch", "CC", "TC gen"]
+              + [label for label, _ in flags] + ["cluster"])
+    rows = []
+    for name in names:
+        d = get_device(name)
+        pack = d.pack
+        rows.append(
+            [name, pack.display_name, pack.compute_capability,
+             str(d.tensor_core.generation)]
+            + [("yes" if getattr(pack, attr) else "-")
+               for _, attr in flags]
+            + [str(d.max_cluster_size)
+               if pack.has_distributed_shared_memory else "-"])
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    for name in names:
         d = get_device(name)
         print(f"\n{name}")
         for k, v in d.table3_row().items():

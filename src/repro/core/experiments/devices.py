@@ -36,13 +36,13 @@ def table03(ctx: RunContext) -> Tuple[Table, List[Check]]:
         h800 = by_name["H800"]
         checks += [
             Check("only Hopper has DPX hardware",
-                  h800.architecture.has_dpx_hardware
-                  and not a100.architecture.has_dpx_hardware
-                  and not rtx.architecture.has_dpx_hardware),
+                  h800.pack.has_dpx_hardware
+                  and not a100.pack.has_dpx_hardware
+                  and not rtx.pack.has_dpx_hardware),
             Check("only Hopper has distributed shared memory",
-                  h800.architecture.has_distributed_shared_memory
-                  and not a100.architecture.has_distributed_shared_memory
-                  and not rtx.architecture.has_distributed_shared_memory),
+                  h800.pack.has_distributed_shared_memory
+                  and not a100.pack.has_distributed_shared_memory
+                  and not rtx.pack.has_distributed_shared_memory),
             Check("H800 has the highest memory bandwidth",
                   h800.dram.peak_bandwidth_gbps
                   > max(a100.dram.peak_bandwidth_gbps,

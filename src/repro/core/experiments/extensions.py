@@ -66,8 +66,9 @@ def ext_tma(ctx: RunContext) -> Tuple[Table, List[Check]]:
     "§III-A (extension)",
     "P-chase sweeps recover the cache geometry (methodology check)",
     # the capacity sweep mixes pow2 and 1.5×pow2 sizes, so A100's
-    # 192 KiB L1 resolves too; any present testbed device will do
-    devices_any=("RTX4090", "A100", "H800"),
+    # 192 KiB L1 resolves too; any present device with a registered
+    # cache geometry will do (the lineage/Blackwell packs included)
+    devices_any=("RTX4090", "A100", "H800", "B200", "V100"),
 )
 def ext_cache_detection(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.memory import CacheProbe
@@ -76,7 +77,8 @@ def ext_cache_detection(ctx: RunContext) -> Tuple[Table, List[Check]]:
         ["Device", "parameter", "detected", "configured"],
     )
     checks = []
-    for dev_name in ctx.select("RTX4090", "A100", "H800"):
+    for dev_name in ctx.select("RTX4090", "A100", "H800", "B200",
+                               "V100"):
         dev = get_device(dev_name)
         # the default steady-state chase engine makes every point
         # cheap in-process; no need for the process-pool fan-out here
@@ -239,6 +241,7 @@ def ext_tma_pipeline(ctx: RunContext) -> Tuple[Table, List[Check]]:
 )
 def ext_mma_full(ctx: RunContext) -> Tuple[Table, List[Check]]:
     from repro.isa.dtypes import DType
+    from repro.isa.lowering import UnsupportedInstruction
     from repro.isa.mma import MmaInstruction, mma_shapes
     from repro.tensorcore import TensorCoreTimingModel
     pairs = [
@@ -258,12 +261,13 @@ def ext_mma_full(ctx: RunContext) -> Tuple[Table, List[Check]]:
         cells = []
         for d in devices:
             dev = get_device(d)
-            t = TensorCoreTimingModel(dev).mma(
-                MmaInstruction(ab, cd, shape))
             try:
+                t = TensorCoreTimingModel(dev).mma(
+                    MmaInstruction(ab, cd, shape))
                 thpt = t.throughput_tflops()
-            except KeyError:
-                # no such unit on this device (FP64 TC on Ada)
+            except (KeyError, UnsupportedInstruction):
+                # no such unit on this device (FP64 TC on Ada) or the
+                # instruction predates the architecture (Volta)
                 cells.append("×")
                 continue
             data[(ab, d)] = t

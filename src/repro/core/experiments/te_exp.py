@@ -82,8 +82,7 @@ def fig04(ctx: RunContext) -> Tuple[Table, List[Check]]:
     for d in devices:
         cm = CostModel(get_device(d))
         for prec in (Precision.FP8, Precision.FP16, Precision.FP32):
-            if (prec is Precision.FP8
-                    and not get_device(d).architecture.has_fp8):
+            if not cm.supports(prec):
                 continue
             row = [float(v) for v in
                    cm.linear_tflops_batch(np.asarray(_NS), prec)]
@@ -132,7 +131,7 @@ def fig05(ctx: RunContext) -> Tuple[Table, List[Check]]:
         dev = get_device(d)
         cm = CostModel(dev)
         for prec in (Precision.FP8, Precision.FP16, Precision.FP32):
-            if prec is Precision.FP8 and not dev.architecture.has_fp8:
+            if not cm.supports(prec):
                 continue
             row = []
             for h in hiddens:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.arch import Architecture, get_device
+from repro.arch import get_device
 from repro.core.checks import Check, approx, ordered, ratio_between
 from repro.core.context import RunContext
 from repro.core.registry import register
@@ -48,34 +48,58 @@ _WGMMA_PAIRS = [
     "SASS lowering of Hopper tensor-core PTX instructions",
 )
 def table06(ctx: RunContext) -> Tuple[Table, List[Check]]:
-    rows = sass_table(Architecture.HOPPER)
-    table = Table("Table VI: Hopper SASS for tensor-core PTX",
+    # The paper lowers on the H800; any other context sweeps its own
+    # lead device's architecture through the same Table VI grid.
+    pack = get_device(ctx.device_order("H800")[0]).pack
+    rows = sass_table(pack)
+    table = Table(f"Table VI: {pack.display_name} SASS for "
+                  "tensor-core PTX",
                   ["A/B", "C/D", "mma", "wgmma"])
     for r in rows:
         table.add_dict_row(r)
     by_ab = {(r["A/B"], r["C/D"]): r for r in rows}
     checks = [
-        Check("INT4 mma lowers to CUDA-core IMAD on Hopper",
-              by_ab[("INT4", "INT32")]["mma"].startswith("IMAD")),
         Check("INT4 has no wgmma",
               by_ab[("INT4", "INT32")]["wgmma"] == "×"),
         Check("FP8 has no mma on any architecture",
               all(r["mma"] == "×" for r in rows if "FP8" in r["A/B"])),
-        Check("FP8 wgmma lowers to QGMMA (both E4M3 and E5M2)",
-              all(r["wgmma"].startswith("QGMMA")
-                  for r in rows if "FP8" in r["A/B"])),
-        Check("FP16 wgmma lowers to HGMMA.64x256x16",
-              by_ab[("FP16", "FP32")]["wgmma"]
-              == "HGMMA.64x256x16.F32"),
-        Check("binary mma lowers to BMMA.168256.AND.POPC",
-              by_ab[("Binary", "INT32")]["mma"]
-              == "BMMA.168256.AND.POPC"),
     ]
+    if pack.int4_mma_emulated:
+        checks.insert(0, Check(
+            "INT4 mma lowers to CUDA-core IMAD on Hopper",
+            by_ab[("INT4", "INT32")]["mma"].startswith("IMAD")))
+    if pack.has_wgmma:
+        checks += [
+            Check("FP8 wgmma lowers to QGMMA (both E4M3 and E5M2)",
+                  all(r["wgmma"].startswith("QGMMA")
+                      for r in rows if "FP8" in r["A/B"])),
+            Check("FP16 wgmma lowers to HGMMA.64x256x16",
+                  by_ab[("FP16", "FP32")]["wgmma"]
+                  == "HGMMA.64x256x16.F32"),
+        ]
+    else:
+        checks.append(Check(
+            f"{pack.display_name} has no wgmma lowering",
+            all(r["wgmma"] == "×" for r in rows)))
+    if pack.supports_mma_input(DType.BIN1.peak_key):
+        checks.append(Check(
+            "binary mma lowers to BMMA.168256.AND.POPC",
+            by_ab[("Binary", "INT32")]["mma"]
+            == "BMMA.168256.AND.POPC"))
     return table, checks
 
 
 def _mma_instr(ab, cd, shape, sparse):
     return MmaInstruction(ab, cd, MatrixShape(*shape), sparse=sparse)
+
+
+def _lat_thpt_cell(entry) -> str:
+    """One Table VII cell — "×" where the instruction doesn't exist on
+    the device's architecture (e.g. TF32/sparse mma on Volta)."""
+    if not entry.supported:
+        return "×"
+    return (f"{entry.latency_clk:.1f}"
+            f"/{entry.throughput_tflops():.1f}")
 
 
 @register(
@@ -107,10 +131,7 @@ def table07(ctx: RunContext) -> Tuple[Table, List[Check]]:
             dd = sweeps[d][2 * j]
             sp = sweeps[d][2 * j + 1]
             data[(ab, cd, shape, d)] = (dd, sp)
-            cells += [
-                f"{dd.latency_clk:.1f}/{dd.throughput_tflops():.1f}",
-                f"{sp.latency_clk:.1f}/{sp.throughput_tflops():.1f}",
-            ]
+            cells += [_lat_thpt_cell(dd), _lat_thpt_cell(sp)]
         table.add_row(ab.paper_label, cd.paper_label,
                       f"m{shape[0]}n{shape[1]}k{shape[2]}", *cells)
 
@@ -176,9 +197,11 @@ def table07(ctx: RunContext) -> Tuple[Table, List[Check]]:
             data[(DType.FP16, DType.FP16, (16, 8, 16), "RTX4090")][0]
             .throughput_tflops() > 330.3,
         ))
-    # dense and sparse latency are equal
+    # dense and sparse latency are equal (where sparse mma exists)
     for d in devices:
         dd, sp = data[(DType.FP16, DType.FP16, (16, 8, 16), d)]
+        if not (dd.supported and sp.supported):
+            continue
         checks.append(Check(
             f"{d}: sparse and dense mma latencies match",
             abs(dd.latency_clk - sp.latency_clk) < 1.0,
@@ -385,6 +408,9 @@ def table11(ctx: RunContext) -> Tuple[Table, List[Check]]:
             for d in devices:
                 dev = get_device(d)
                 t = sweeps[d][2 * gi + (1 if sparse else 0)]
+                if not t.supported:
+                    cells += ["×", "×"]
+                    continue
                 rep = PowerModel(dev).report(
                     op="mma", ab=ab, cd=cd,
                     tflops=t.throughput_tflops("rand"), sparse=sparse,
@@ -422,6 +448,7 @@ def table11(ctx: RunContext) -> Tuple[Table, List[Check]]:
         "sparse always beats dense on energy efficiency",
         all(eff[(ab, cd, True, d)] > eff[(ab, cd, False, d)]
             for ab, cd, _ in grid
-            for d in devices),
+            for d in devices
+            if (ab, cd, True, d) in eff and (ab, cd, False, d) in eff),
     ))
     return table, checks

@@ -66,12 +66,12 @@ class DpxTimingModel:
 
     @property
     def hardware(self) -> bool:
-        return self.device.architecture.has_dpx_hardware
+        return self.device.pack.has_dpx_hardware
 
     def lowered(self, fn: DpxFunction):
         return lower_dpx(
             fn.name,
-            arch=self.device.architecture,
+            arch=self.device.pack,
             hw_mnemonics=fn.hw_sass,
             emulation_mnemonics=fn.emu_sass,
         )

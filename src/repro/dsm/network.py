@@ -5,8 +5,8 @@ Two calibrated primitives and one derived law:
 * **Latency**: a remote shared-memory access completes in
   ``dsm_remote_clk`` (180 cycles on the H800) — 32 % less than the L2
   round trip, the paper's headline DSM latency result.
-* **Injection bandwidth**: each SM can push ``_LINK_BYTES_PER_CLK``
-  into the fabric.
+* **Injection bandwidth**: each SM can push the pack-calibrated
+  ``link_bytes_per_clk`` into the fabric.
 * **Contention** (derived): the fabric inside a GPC is shared, so with
   ``CS`` blocks of a cluster all communicating, the per-SM achieved
   bandwidth degrades as ``link / (1 + α·(CS − 1))`` — which yields the
@@ -23,10 +23,10 @@ from repro.isa.lowering import UnsupportedInstruction
 
 __all__ = ["SmToSmNetwork"]
 
-#: per-SM fabric injection width, bytes per SM clock
-_LINK_BYTES_PER_CLK = 18.5
-#: fabric-sharing contention coefficient
-_CONTENTION_ALPHA = 0.133
+# The two calibrated primitives — per-SM fabric injection width
+# (bytes/clk) and the fabric-sharing contention coefficient α — come
+# from the architecture pack (``device.pack.dsm``), so each
+# cluster-capable generation carries its own fabric numbers.
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,7 @@ class SmToSmNetwork:
     device: DeviceSpec
 
     def __post_init__(self) -> None:
-        if not self.device.architecture.has_distributed_shared_memory:
+        if not self.device.pack.has_distributed_shared_memory:
             raise UnsupportedInstruction(
                 f"{self.device.name} has no SM-to-SM network "
                 "(distributed shared memory requires Hopper)"
@@ -58,15 +58,16 @@ class SmToSmNetwork:
 
     @property
     def link_bytes_per_clk(self) -> float:
-        return _LINK_BYTES_PER_CLK
+        return self.device.pack.dsm.link_bytes_per_clk
 
     def effective_bytes_per_clk_sm(self, cluster_size: int) -> float:
         """Per-SM achieved fabric bandwidth inside a CS-block cluster."""
         self._check_cs(cluster_size)
         if cluster_size < 2:
             return 0.0  # no remote traffic possible
-        return _LINK_BYTES_PER_CLK / (
-            1.0 + _CONTENTION_ALPHA * (cluster_size - 1)
+        cal = self.device.pack.dsm
+        return cal.link_bytes_per_clk / (
+            1.0 + cal.contention_alpha * (cluster_size - 1)
         )
 
     def aggregate_bandwidth_tbps(self, cluster_size: int,

@@ -9,9 +9,9 @@ for sparse instructions the hardware executes half the mathematical
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal, Tuple
+from typing import Literal
 
-from repro.arch import Architecture, DeviceSpec
+from repro.arch import DeviceSpec
 from repro.isa.dtypes import DType
 
 __all__ = ["PowerModel", "PowerReport"]
@@ -19,12 +19,10 @@ __all__ = ["PowerModel", "PowerReport"]
 OpKind = Literal["mma", "wgmma"]
 DataKind = Literal["zero", "rand"]
 
-#: board idle power (W)
-_IDLE_WATTS: Dict[Architecture, float] = {
-    Architecture.AMPERE: 60.0,
-    Architecture.ADA: 55.0,
-    Architecture.HOPPER: 60.0,
-}
+# Per-generation calibrations (board idle watts, per-MAC energies for
+# the mma and wgmma paths) live in the architecture packs —
+# ``device.pack.power`` — keyed by (peak_key, accumulator ptx name,
+# sparse).  Only cross-architecture constants stay here.
 
 #: dynamic power fraction of an all-zero operand stream
 _ZERO_ACTIVITY = 0.35
@@ -32,45 +30,6 @@ _ZERO_ACTIVITY = 0.35
 #: shared-memory operand-stream energy (wgmma path), pJ/byte
 _SMEM_PJ_PER_BYTE = 2.6
 
-# (peak_key, accumulator ptx name, sparse) -> pJ per physical MAC
-_Key = Tuple[str, str, bool]
-
-_MMA_ENERGY_PJ: Dict[Architecture, Dict[_Key, float]] = {
-    Architecture.AMPERE: {
-        ("fp16", "f16", False): 0.730, ("fp16", "f16", True): 0.891,
-        ("fp16", "f32", False): 0.847, ("fp16", "f32", True): 1.035,
-        ("bf16", "f32", False): 0.847, ("bf16", "f32", True): 1.035,
-        ("tf32", "f32", False): 2.042, ("tf32", "f32", True): 2.331,
-        ("int8", "s32", False): 0.390, ("int8", "s32", True): 0.443,
-    },
-    Architecture.ADA: {
-        ("fp16", "f16", False): 0.750, ("fp16", "f16", True): 0.894,
-        ("fp16", "f32", False): 1.108, ("fp16", "f32", True): 1.246,
-        ("bf16", "f32", False): 1.108, ("bf16", "f32", True): 1.246,
-        ("tf32", "f32", False): 2.680, ("tf32", "f32", True): 2.974,
-        ("int8", "s32", False): 0.411, ("int8", "s32", True): 0.463,
-    },
-    Architecture.HOPPER: {
-        ("fp16", "f16", False): 0.520, ("fp16", "f16", True): 0.704,
-        ("fp16", "f32", False): 0.557, ("fp16", "f32", True): 0.748,
-        ("bf16", "f32", False): 0.557, ("bf16", "f32", True): 0.748,
-        ("tf32", "f32", False): 1.582, ("tf32", "f32", True): 1.899,
-        ("int8", "s32", False): 0.215, ("int8", "s32", True): 0.288,
-    },
-}
-
-#: wgmma path energies (Hopper only); the warp-group datapath engages
-#: the full 4th-gen array and differs from the legacy mma path.
-_WGMMA_ENERGY_PJ: Dict[_Key, float] = {
-    ("fp16", "f16", False): 0.721, ("fp16", "f16", True): 0.721,
-    ("fp16", "f32", False): 0.771, ("fp16", "f32", True): 0.771,
-    ("bf16", "f16", False): 0.721, ("bf16", "f16", True): 0.721,
-    ("bf16", "f32", False): 0.771, ("bf16", "f32", True): 0.771,
-    ("tf32", "f32", False): 1.420, ("tf32", "f32", True): 1.420,
-    ("fp8", "f16", False): 0.300, ("fp8", "f16", True): 0.300,
-    ("fp8", "f32", False): 0.306, ("fp8", "f32", True): 0.306,
-    ("int8", "s32", False): 0.300, ("int8", "s32", True): 0.300,
-}
 #: fallback per-MAC energy for pairings outside the calibrated set
 _DEFAULT_PJ = 1.0
 
@@ -98,16 +57,15 @@ class PowerModel:
 
     @property
     def idle_watts(self) -> float:
-        return _IDLE_WATTS[self.device.architecture]
+        return self.device.pack.power.idle_watts
 
     def _energy_pj(self, op: OpKind, ab: DType, cd: DType,
                    sparse: bool) -> float:
         key = (ab.peak_key, cd.ptx_name, sparse)
+        cal = self.device.pack.power
         if op == "wgmma":
-            return _WGMMA_ENERGY_PJ.get(key, _DEFAULT_PJ)
-        return _MMA_ENERGY_PJ[self.device.architecture].get(
-            key, _DEFAULT_PJ
-        )
+            return cal.wgmma_energy_pj.get(key, _DEFAULT_PJ)
+        return cal.mma_energy_pj.get(key, _DEFAULT_PJ)
 
     def energy_pj(self, op: OpKind, ab: DType, cd: DType,
                   sparse: bool) -> float:

@@ -105,6 +105,16 @@ class CostModel:
 
     # -- primitive rates ------------------------------------------------------
 
+    def supports(self, precision: Precision) -> bool:
+        """Whether this device can run te.Linear in ``precision`` at
+        all — FP8 needs the capability flag *and* FP8 tensor-core
+        peaks; older generations may lack e.g. the TF32 path FP32
+        rides (Volta) or BF16 accumulate."""
+        ab, _cd = precision.gemm_types
+        if ab.is_fp8 and not self.device.pack.has_fp8:
+            return False
+        return self.device.tensor_core.supports(ab.peak_key)
+
     def gemm_tflops(self, precision: Precision) -> float:
         """Best sustained GEMM rate for a precision on this device."""
         if precision not in self._gemm_rate_cache:

@@ -162,8 +162,7 @@ class LlmInferenceModel:
     def estimate(self, model: LlamaSpec, precision: Precision, *,
                  batch: int = 8, input_len: int = 128,
                  output_len: int = 128) -> GenerationEstimate:
-        if (precision is Precision.FP8
-                and not self.device.architecture.has_fp8):
+        if not self.cost.supports(precision):
             return GenerationEstimate(None, "-")
         if not self.fits(model, precision, batch=batch,
                          max_seq=input_len + output_len):
@@ -192,8 +191,7 @@ class LlmInferenceModel:
         """
         import numpy as np
 
-        if (precision is Precision.FP8
-                and not self.device.architecture.has_fp8):
+        if not self.cost.supports(precision):
             return GenerationEstimate(None, "-")
         wl = ShareGptWorkload(seed=seed)
         groups = list(wl.batches(n_requests, batch))

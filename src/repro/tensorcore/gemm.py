@@ -50,7 +50,7 @@ class TiledGemm:
         self.ab_type = ab_type
         self.cd_type = cd_type
         self.timing = TensorCoreTimingModel(device)
-        if device.architecture.has_wgmma:
+        if device.pack.has_wgmma:
             self._tile = WgmmaInstruction(ab_type, cd_type, n=256)
         else:
             self._tile = MmaInstruction(

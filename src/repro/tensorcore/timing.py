@@ -36,7 +36,7 @@ from typing import Dict, List, Literal, Sequence
 
 import numpy as np
 
-from repro.arch import Architecture, DeviceSpec
+from repro.arch import DeviceSpec
 from repro.isa.dtypes import DType
 from repro.isa.lowering import UnsupportedInstruction, lower
 from repro.isa.mma import (
@@ -102,54 +102,15 @@ __all__ = [
 InitKind = Literal["zero", "rand"]
 
 # --------------------------------------------------------------------------
-# mma calibration tables  (steps = k / min-k ∈ {1, 2})
+# calibration
 # --------------------------------------------------------------------------
-
-#: completion latency in cycles: arch -> {steps: clk}
-_MMA_LATENCY: Dict[Architecture, Dict[int, float]] = {
-    Architecture.AMPERE: {1: 17.7, 2: 25.5},
-    Architecture.ADA: {1: 17.5, 2: 24.6},
-    Architecture.HOPPER: {1: 16.0, 2: 24.1},
-}
-#: Ada pays double-pumped FP32 accumulation on its consumer tensor cores
-_ADA_F32ACC_LATENCY: Dict[int, float] = {1: 19.0, 2: 33.2}
-
-#: issue efficiency (achieved / peak issue rate): arch -> sparse -> steps
-_MMA_EFFICIENCY: Dict[Architecture, Dict[bool, Dict[int, float]]] = {
-    Architecture.AMPERE: {
-        False: {1: 0.99, 2: 0.99},
-        True: {1: 0.645, 2: 0.99},
-    },
-    Architecture.ADA: {
-        False: {1: 0.99, 2: 0.99},
-        True: {1: 0.99, 2: 0.99},
-    },
-    # The paper's headline mma finding: Hopper's legacy path cannot
-    # saturate 4th-gen tensor cores, sparse even less so.
-    Architecture.HOPPER: {
-        False: {1: 0.487, 2: 0.651},
-        True: {1: 0.324, 2: 0.477},
-    },
-}
-
-#: fraction of peak the Ada FP32-accumulate path retains (fp16/bf16 in)
-_ADA_F32ACC_RATE = 0.5
-
-#: number of tensor-core pipes per SM (one per scheduler sub-partition)
-_PIPES_PER_SM = 4
-
-# --------------------------------------------------------------------------
-# wgmma calibration
-# --------------------------------------------------------------------------
-
-#: minimum wgmma completion latency (pipe depth floor), cycles
-_WGMMA_MIN_LATENCY = 13.0
-#: sparse RS floor is slightly deeper (metadata select stage)
-_WGMMA_SPARSE_RS_FLOOR = 17.0
-#: pipeline-bubble stretch of the dependent-accumulator chain
-_WGMMA_CHAIN_STRETCH = 1.12
-#: compute-bound efficiency (scoreboard overhead at full tilt)
-_WGMMA_COMPUTE_EFF = 0.965
+#
+# All per-generation numbers (mma pipe tables, the steps = k/min-k
+# latency/efficiency grids, wgmma floors and chain stretch) live in the
+# architecture packs — ``device.pack.mma`` / ``device.pack.wgmma`` —
+# so new generations plug in as data.  Only *structural* laws that hold
+# on every architecture stay here (the small-N SS stall shape below and
+# the 5-cycle IMAD latency of the CUDA-core fallback).
 
 
 def _wgmma_ss_stall(n: int) -> float:
@@ -170,7 +131,7 @@ class MmaTiming:
     instr: MmaInstruction
 
     def __post_init__(self) -> None:
-        lowered = lower(self.instr, self.device.architecture)
+        lowered = lower(self.instr, self.device.pack)
         object.__setattr__(self, "_lowered", lowered)
         _record_tc_instruction("mma", self.device, self.instr)
 
@@ -183,21 +144,23 @@ class MmaTiming:
         return self.instr.shape.k // min_k
 
     @property
-    def _ada_f32acc(self) -> bool:
-        """Ada consumer parts run FP16→FP32 accumulation at half rate."""
+    def _f32acc_half_rate(self) -> bool:
+        """Generations whose pack declares ``f32acc_rate < 1`` (Ada's
+        consumer parts) run FP16/BF16→FP32 accumulation at a reduced
+        rate."""
         return (
-            self.device.architecture is Architecture.ADA
+            self.device.pack.mma.f32acc_rate != 1.0
             and self.instr.ab_type in (DType.FP16, DType.BF16)
             and self.instr.cd_type is DType.FP32
         )
 
     @property
-    def _ada_slow_latency(self) -> bool:
-        """All FP32-accumulate mma on Ada takes the deeper pipe (the
-        paper measures 19.2/33.4 for TF32 and 18.8/33.0 for FP16→FP32
-        vs 17.7/24.6 for FP16→FP16)."""
+    def _f32acc_slow_latency(self) -> bool:
+        """All FP32-accumulate mma takes the deeper pipe where the pack
+        calibrates one (the paper measures 19.2/33.4 for TF32 and
+        18.8/33.0 for FP16→FP32 vs 17.7/24.6 for FP16→FP16 on Ada)."""
         return (
-            self.device.architecture is Architecture.ADA
+            self.device.pack.mma.f32acc_latency_clk is not None
             and self.instr.cd_type is DType.FP32
         )
 
@@ -210,41 +173,43 @@ class MmaTiming:
     @property
     def latency_clk(self) -> float:
         """Completion latency of a single dependent instruction."""
-        arch = self.device.architecture
+        cal = self.device.pack.mma
         if not self.on_tensor_core:
             # CUDA-core fallback (Hopper INT4): a serial IMAD sequence.
             imad_latency = 5.0
             return imad_latency * self._lowered.instruction_count
-        if self._ada_slow_latency:
-            return _ADA_F32ACC_LATENCY[self.steps]
-        return _MMA_LATENCY[arch][self.steps]
+        if self._f32acc_slow_latency:
+            return cal.f32acc_latency_clk[self.steps]
+        return cal.latency_clk[self.steps]
 
     # -- throughput ------------------------------------------------------------
 
     @property
     def issue_efficiency(self) -> float:
-        arch = self.device.architecture
-        return _MMA_EFFICIENCY[arch][self.instr.sparse][self.steps]
+        cal = self.device.pack.mma
+        return cal.efficiency[self.instr.sparse][self.steps]
 
     @property
     def throughput_flops_per_clk_sm(self) -> float:
         """Sustained per-SM FLOPs (or int-ops) per cycle."""
+        cal = self.device.pack.mma
         if not self.on_tensor_core:
-            # INT4-on-Hopper path: 32-lane IMAD per scheduler, 4
-            # schedulers, 2 ops (mul+add) per MAC, II of 2.
-            return _PIPES_PER_SM * 32 * 2 / 2.0
+            # INT4-on-Hopper path: 32-lane IMAD per scheduler, one
+            # scheduler per pipe, 2 ops (mul+add) per MAC, II of 2.
+            return cal.pipes_per_sm * 32 * 2 / 2.0
         peak = self.device.tc_flops_per_clk_sm(
             self.instr.ab_type.peak_key, sparse=self.instr.sparse
         )
         rate = peak * self.issue_efficiency
-        if self._ada_f32acc:
-            rate *= _ADA_F32ACC_RATE
+        if self._f32acc_half_rate:
+            rate *= cal.f32acc_rate
         return rate
 
     @property
     def issue_interval_clk(self) -> float:
         """Cycles between back-to-back independent issues per pipe."""
-        per_pipe = self.throughput_flops_per_clk_sm / _PIPES_PER_SM
+        per_pipe = (self.throughput_flops_per_clk_sm
+                    / self.device.pack.mma.pipes_per_sm)
         return self.instr.flops / per_pipe
 
     def throughput_tflops(self, init: InitKind = "zero") -> float:
@@ -290,7 +255,7 @@ class WgmmaTiming:
     instr: WgmmaInstruction
 
     def __post_init__(self) -> None:
-        if not self.device.architecture.has_wgmma:
+        if not self.device.pack.has_wgmma:
             raise UnsupportedInstruction(
                 f"{self.device.name} has no wgmma instructions"
             )
@@ -302,11 +267,12 @@ class WgmmaTiming:
     def latency_clk(self) -> float:
         """Completion latency: N/2 cycles of tensor-core work plus the
         operand-path effects described in the module docstring."""
+        cal = self.device.pack.wgmma
         n = self.instr.n
         base = n / 2.0
         ss = self.instr.a_source is OperandSource.SHARED
         if not self.instr.sparse:
-            lat = max(base, _WGMMA_MIN_LATENCY)
+            lat = max(base, cal.min_latency_clk)
             if ss:
                 lat += _wgmma_ss_stall(n)
             return lat
@@ -318,7 +284,7 @@ class WgmmaTiming:
                 / self.device.mem_widths.smem_bytes_per_clk_sm
             )
             return base + extra
-        return max(base, _WGMMA_SPARSE_RS_FLOOR)
+        return max(base, cal.sparse_rs_floor_clk)
 
     # -- throughput -------------------------------------------------------------
 
@@ -328,7 +294,7 @@ class WgmmaTiming:
         peak = self.device.tc_flops_per_clk_sm(
             self.instr.ab_type.peak_key, sparse=self.instr.sparse
         )
-        return self.instr.flops / (peak * _WGMMA_COMPUTE_EFF)
+        return self.instr.flops / (peak * self.device.pack.wgmma.compute_eff)
 
     @property
     def smem_interval_clk(self) -> float:
@@ -351,7 +317,7 @@ class WgmmaTiming:
         saturated, which is why Table IX's SS columns sit below RS.
         """
         return max(
-            self.latency_clk * _WGMMA_CHAIN_STRETCH,
+            self.latency_clk * self.device.pack.wgmma.chain_stretch,
             self.compute_interval_clk,
         )
 
@@ -435,7 +401,7 @@ class ScalarTensorCoreTimingModel:
         """Best achievable dense throughput for a type pair on this
         device — wgmma at N=256 on Hopper, the long mma elsewhere.
         Used by the Transformer-Engine cost model."""
-        if self.device.architecture.has_wgmma:
+        if self.device.pack.has_wgmma:
             try:
                 w = WgmmaInstruction(ab, cd, n=256)
                 return self.wgmma(w).throughput_tflops("rand")
@@ -476,6 +442,10 @@ class SweepEntry:
     tflops_rand: float
     frac_zero: float
     frac_rand: float
+    #: False when the instruction does not exist on the device's
+    #: architecture (the "×" cells of the paper's tables); the numeric
+    #: fields are then nan/0 placeholders.
+    supported: bool = True
 
     def throughput_tflops(self, init: InitKind = "zero") -> float:
         return self.tflops_rand if init == "rand" else self.tflops_zero
@@ -490,6 +460,7 @@ class _Sweep:
     #: filled by subclass constructors
     latency_clk: np.ndarray
     issue_interval_clk: np.ndarray
+    supported: np.ndarray
     _tflops_zero: np.ndarray
     _tflops_rand: np.ndarray
     _frac_zero: np.ndarray
@@ -506,6 +477,7 @@ class _Sweep:
             tflops_rand=float(self._tflops_rand[i]),
             frac_zero=float(self._frac_zero[i]),
             frac_rand=float(self._frac_rand[i]),
+            supported=bool(self.supported[i]),
         )
 
     def throughput_tflops(self, init: InitKind = "zero") -> np.ndarray:
@@ -524,39 +496,47 @@ class MmaSweep(_Sweep):
 
         self.device = device
         self.instructions = tuple(instrs)
-        arch = device.architecture
+        cal = device.pack.mma
         n = len(self.instructions)
         pm = PowerModel(device)
 
         # Pack per-instruction table lookups; all arithmetic below is
         # elementwise float64 and mirrors MmaTiming op-for-op.
-        lat = np.empty(n)
-        eff = np.empty(n)
+        # Instructions the architecture lacks entirely (Table VI "×"
+        # cells, e.g. TF32 on Volta) are marked unsupported instead of
+        # raising, so one grid can sweep every device.
+        lat = np.zeros(n)
+        eff = np.zeros(n)
         peak_rate = np.zeros(n)       # tc flops/clk/SM (0 off-TC)
         peak_tflops = np.full(n, np.nan)
         flops = np.empty(n)
         icount = np.ones(n)
         on_tc = np.zeros(n, dtype=bool)
-        ada_f32acc = np.zeros(n, dtype=bool)
+        f32acc_half = np.zeros(n, dtype=bool)
+        supported = np.ones(n, dtype=bool)
         sparse = np.zeros(n, dtype=bool)
-        energy = np.empty(n)
+        energy = np.zeros(n)
         peak_cache: Dict = {}
         for i, instr in enumerate(self.instructions):
-            lowered = lower(instr, arch)
+            sparse[i] = instr.sparse
+            flops[i] = instr.flops
+            try:
+                lowered = lower(instr, device.pack)
+            except UnsupportedInstruction:
+                supported[i] = False
+                continue
             tc = lowered.uses_tensor_core
             on_tc[i] = tc
             icount[i] = lowered.instruction_count
             steps = instr.shape.k // mma_shapes(instr.ab_type)[0].k
-            sparse[i] = instr.sparse
-            flops[i] = instr.flops
-            slow_ada = (arch is Architecture.ADA
-                        and instr.cd_type is DType.FP32)
-            lat[i] = (_ADA_F32ACC_LATENCY[steps] if slow_ada
-                      else _MMA_LATENCY[arch][steps]) if tc else 0.0
-            eff[i] = (_MMA_EFFICIENCY[arch][instr.sparse][steps]
+            slow_f32acc = (cal.f32acc_latency_clk is not None
+                           and instr.cd_type is DType.FP32)
+            lat[i] = (cal.f32acc_latency_clk[steps] if slow_f32acc
+                      else cal.latency_clk[steps]) if tc else 0.0
+            eff[i] = (cal.efficiency[instr.sparse][steps]
                       if tc else 0.0)
-            ada_f32acc[i] = (
-                arch is Architecture.ADA
+            f32acc_half[i] = (
+                cal.f32acc_rate != 1.0
                 and instr.ab_type in (DType.FP16, DType.BF16)
                 and instr.cd_type is DType.FP32
             )
@@ -575,12 +555,16 @@ class MmaSweep(_Sweep):
             energy[i] = pm.energy_pj("mma", instr.ab_type,
                                      instr.cd_type, instr.sparse)
 
-        self.latency_clk = np.where(on_tc, lat, 5.0 * icount)
+        self.supported = supported
+        self.latency_clk = np.where(
+            supported, np.where(on_tc, lat, 5.0 * icount), np.nan)
         rate = peak_rate * eff
-        rate = np.where(ada_f32acc, rate * _ADA_F32ACC_RATE, rate)
-        rate = np.where(on_tc, rate, _PIPES_PER_SM * 32 * 2 / 2.0)
+        rate = np.where(f32acc_half, rate * cal.f32acc_rate, rate)
+        rate = np.where(on_tc, rate, cal.pipes_per_sm * 32 * 2 / 2.0)
+        rate = np.where(supported, rate, 0.0)
         self.throughput_flops_per_clk_sm = rate
-        self.issue_interval_clk = flops / (rate / _PIPES_PER_SM)
+        with np.errstate(divide="ignore"):
+            self.issue_interval_clk = flops / (rate / cal.pipes_per_sm)
         base = (rate * device.num_sms
                 * device.clocks.observed_hz / 1e12)
         self._tflops_zero = base
@@ -591,7 +575,9 @@ class MmaSweep(_Sweep):
         with np.errstate(invalid="ignore"):
             self._frac_zero = self._tflops_zero / peak_tflops
             self._frac_rand = self._tflops_rand / peak_tflops
-        _record_tc_batch("mma", device, self.instructions)
+        _record_tc_batch(
+            "mma", device,
+            [ins for ins, ok in zip(self.instructions, supported) if ok])
 
 
 class WgmmaSweep(_Sweep):
@@ -601,12 +587,13 @@ class WgmmaSweep(_Sweep):
                  instrs: Sequence[WgmmaInstruction]) -> None:
         from repro.power import PowerModel
 
-        if not device.architecture.has_wgmma:
+        if not device.pack.has_wgmma:
             raise UnsupportedInstruction(
                 f"{device.name} has no wgmma instructions"
             )
         self.device = device
         self.instructions = tuple(instrs)
+        cal = device.pack.wgmma
         n = len(self.instructions)
         pm = PowerModel(device)
         smem = device.mem_widths.smem_bytes_per_clk_sm
@@ -648,17 +635,17 @@ class WgmmaSweep(_Sweep):
                                      instr.cd_type, instr.sparse)
 
         base = nn / 2.0
-        dense_lat = np.maximum(base, _WGMMA_MIN_LATENCY) \
+        dense_lat = np.maximum(base, cal.min_latency_clk) \
             + np.where(ss, _wgmma_ss_stall_array(nn), 0.0)
         sparse_lat = np.where(
             ss, base + extra_a,
-            np.maximum(base, _WGMMA_SPARSE_RS_FLOOR))
+            np.maximum(base, cal.sparse_rs_floor_clk))
         self.latency_clk = np.where(sparse, sparse_lat, dense_lat)
-        compute_interval = flops / (peak_rate * _WGMMA_COMPUTE_EFF)
+        compute_interval = flops / (peak_rate * cal.compute_eff)
         self.compute_interval_clk = compute_interval
         self.smem_interval_clk = smem_bytes / smem
         self.issue_interval_clk = np.maximum(
-            self.latency_clk * _WGMMA_CHAIN_STRETCH, compute_interval)
+            self.latency_clk * cal.chain_stretch, compute_interval)
         rate = flops / self.issue_interval_clk
         self.throughput_flops_per_clk_sm = rate
         tz = (rate * device.num_sms
@@ -672,6 +659,7 @@ class WgmmaSweep(_Sweep):
         self._tflops_rand = tz * scale
         self._frac_zero = tz / peak_tflops
         self._frac_rand = self._tflops_rand / peak_tflops
+        self.supported = np.ones(n, dtype=bool)
         _record_tc_batch("wgmma", device, self.instructions)
 
 

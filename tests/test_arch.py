@@ -24,14 +24,18 @@ from repro.arch.registry import PAPER_DEVICES
 
 class TestArchitecture:
     def test_compute_capabilities(self):
+        assert Architecture.VOLTA.compute_capability == "7.0"
         assert Architecture.AMPERE.compute_capability == "8.0"
         assert Architecture.ADA.compute_capability == "8.9"
         assert Architecture.HOPPER.compute_capability == "9.0"
+        assert Architecture.BLACKWELL.compute_capability == "10.0"
 
     def test_tensor_core_generations(self):
+        assert Architecture.VOLTA.tensor_core_generation == 1
         assert Architecture.AMPERE.tensor_core_generation == 3
         assert Architecture.ADA.tensor_core_generation == 4
         assert Architecture.HOPPER.tensor_core_generation == 4
+        assert Architecture.BLACKWELL.tensor_core_generation == 5
 
     def test_hopper_exclusive_features(self):
         for feat in ("has_dpx_hardware", "has_distributed_shared_memory",
@@ -45,8 +49,16 @@ class TestArchitecture:
         assert Architecture.ADA.has_fp8
         assert Architecture.HOPPER.has_fp8
 
-    def test_cp_async_everywhere(self):
-        assert all(a.has_cp_async for a in Architecture)
+    def test_cp_async_sm80_onward(self):
+        assert not Architecture.VOLTA.has_cp_async
+        for a in (Architecture.AMPERE, Architecture.ADA,
+                  Architecture.HOPPER, Architecture.BLACKWELL):
+            assert a.has_cp_async
+
+    def test_enum_properties_come_from_packs(self):
+        for a in Architecture:
+            assert a.compute_capability == a.pack.compute_capability
+            assert a.has_wgmma == a.pack.has_wgmma
 
 
 class TestRegistry:
@@ -59,7 +71,12 @@ class TestRegistry:
 
     def test_unknown_device_raises(self):
         with pytest.raises(KeyError, match="unknown device"):
-            get_device("V100")
+            get_device("H100")
+
+    def test_lineage_devices_registered(self):
+        assert {"B200", "V100"} <= set(list_devices())
+        assert get_device("B200").pack.name == "blackwell"
+        assert get_device("V100").pack.name == "volta"
 
     def test_duplicate_registration_rejected(self, h800):
         with pytest.raises(ValueError, match="already registered"):

@@ -19,6 +19,21 @@ class TestCli:
         out = capsys.readouterr().out
         assert "H800" in out and "2039 GB/s" in out
 
+    def test_devices_capability_matrix(self, capsys):
+        assert main(["devices"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        header = lines[0].split()
+        assert header[:4] == ["Device", "Arch", "CC", "TC"]
+        assert {"wgmma", "tma", "dsm", "fp8", "dpx", "sparse",
+                "cluster"} <= set(header)
+        rows = {l.split()[0]: l.split() for l in lines[1:6]}
+        assert {"A100", "RTX4090", "H800", "B200", "V100"} == set(rows)
+        # Hopper row carries wgmma; Blackwell dropped it for tcgen05
+        assert "yes" in rows["H800"][4:5]  # wgmma column
+        assert rows["B200"][4] == "-"
+        assert rows["B200"][1:3] == ["Blackwell", "10.0"]
+        assert rows["V100"][1:3] == ["Volta", "7.0"]
+
     def test_run_single(self, capsys):
         assert main(["run", "table06_sass"]) == 0
         out = capsys.readouterr().out
@@ -158,7 +173,7 @@ class TestContextFlags:
 
     def test_unknown_device_exits_with_message(self, capsys):
         with pytest.raises(SystemExit, match="bad run context"):
-            main(["run", "--devices", "B200", "table03_devices"])
+            main(["run", "--devices", "H100", "table03_devices"])
 
     def test_seed_flag_reaches_builders(self, capsys):
         assert main(["run", "--seed", "123", "--no-cache",

@@ -1,6 +1,10 @@
 """Device sweeps: every experiment stays well-formed — and its
 findings keep passing — under single-device contexts, and the default
-context reproduces the legacy three-device layout."""
+context reproduces the legacy three-device layout.
+
+The sweep list comes from the device registry, so the lineage packs
+(V100, B200) are exercised alongside the paper's testbed without this
+file naming them."""
 
 from __future__ import annotations
 
@@ -8,6 +12,7 @@ import pickle
 
 import pytest
 
+from repro.arch import list_devices
 from repro.core import (
     Check,
     RunContext,
@@ -17,7 +22,7 @@ from repro.core import (
     supported_experiments,
 )
 
-SWEEPS = [("A100",), ("RTX4090",), ("H800",)]
+SWEEPS = [(name,) for name in list_devices()]
 
 
 @pytest.fixture(scope="module")

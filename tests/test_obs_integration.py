@@ -159,6 +159,7 @@ class TestDevicesAny:
     def test_cache_detection_runs_on_any_single_testbed_device(self):
         exp = get_experiment("ext_cache_detection")
         assert exp.devices is None
-        assert set(exp.devices_any) == {"RTX4090", "A100", "H800"}
-        for dev in ("RTX4090", "A100", "H800"):
+        assert set(exp.devices_any) == {"RTX4090", "A100", "H800",
+                                        "B200", "V100"}
+        for dev in ("RTX4090", "A100", "H800", "B200", "V100"):
             assert exp.supports(RunContext(devices=(dev,)))

@@ -33,7 +33,7 @@ class TestConstruction:
 
     def test_unregistered_device_rejected(self):
         with pytest.raises(KeyError):
-            RunContext(devices=("B200",))
+            RunContext(devices=("H100",))
 
     def test_empty_sweep_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
