@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""(Re)generate ``docs/counters.md`` from the counter catalog.
+
+Usage::
+
+    python benchmarks/gen_counter_catalog.py [--check] [OUTPUT]
+
+Renders :data:`repro.obs.catalog.CATALOG` — the central registry of
+every counter family the simulator emits — to the markdown catalog
+page (default ``docs/counters.md``).  ``--check`` compares instead of
+writing and exits 1 when the committed page is stale; CI runs that as
+the catalog-drift step, so adding a counter without cataloguing it
+(or cataloguing without regenerating the page) fails the build.
+
+As a second net, ``--check`` also verifies that every counter in the
+committed golden baselines (``tests/golden/counters/*.json``) is
+covered by a catalog entry.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.catalog import catalog_markdown, uncatalogued  # noqa: E402
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO / "docs" / "counters.md"
+GOLDEN_DIR = REPO / "tests" / "golden" / "counters"
+
+
+def golden_counter_names():
+    names = set()
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        payload = json.loads(path.read_text())
+        for bank in payload.get("experiments", {}).values():
+            names.update(bank)
+        names.update(payload.get("orchestration", {}))
+    return names
+
+
+def main(argv) -> int:
+    check = "--check" in argv
+    rest = [a for a in argv if a != "--check"]
+    output = Path(rest[0]) if rest else DEFAULT_OUTPUT
+    text = catalog_markdown()
+    if not check:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text)
+        print(f"wrote {output}")
+        return 0
+    ok = True
+    on_disk = output.read_text() if output.exists() else None
+    if on_disk != text:
+        print(f"{output}: STALE — rerun "
+              f"benchmarks/gen_counter_catalog.py and commit",
+              file=sys.stderr)
+        ok = False
+    else:
+        print(f"{output}: OK")
+    missing = uncatalogued(golden_counter_names())
+    if missing:
+        print("counters in golden baselines with no catalog entry:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        ok = False
+    else:
+        print("golden baselines: every counter catalogued")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,23 +1,27 @@
 #!/usr/bin/env python
-"""Validate a ``--counters-json`` dump against its declared schema.
+"""Validate counter dumps against their declared schema.
 
 Usage::
 
     python benchmarks/validate_counters.py COUNTERS.json [MORE ...]
 
-Checks the ``hopperdissect.counters/v1`` shape written by
-:meth:`repro.obs.ObsSession.write_counters_json`:
+Dispatches on the ``schema`` tag in each file:
 
-* top level is an object with exactly ``schema``, ``context`` and
-  ``counters`` keys;
-* ``schema`` is the version tag, ``context`` a run-context token
-  string or ``null``;
-* ``counters`` maps non-empty string names to non-negative integers
-  (the bank is monotonic — a negative total means a broken merge);
-* the file is canonical: re-serializing with sorted keys and compact
-  separators reproduces it byte-for-byte, so two equal counter states
-  always diff clean.
+* ``hopperdissect.counters/v1`` — the flat dump written by
+  :meth:`repro.obs.ObsSession.write_counters_json`: exactly
+  ``schema``/``context``/``counters`` keys, names mapping to
+  non-negative integers, canonical serialization (sorted keys,
+  compact separators, trailing newline).
+* ``hopperdissect.counters/v2`` — the labeled dump written by
+  :meth:`repro.obs.ObsSession.write_counters_v2`: run-level
+  ``labels`` (string→string), ``experiments`` mapping experiment
+  names to counter banks, an ``orchestration`` bank for counters
+  fired outside any experiment, and canonical serialization in the
+  v2 key order (schema, context, labels, experiments sorted by name,
+  orchestration; counters in ``counter_sort_key`` order — histogram
+  buckets numeric by bound, *not* plain ``sort_keys``).
 
+Both banks are monotonic — a negative value means a broken merge.
 Exit code 0 when every file validates; prints one summary line per
 file.  CI runs this as the counter-schema smoke step next to
 ``validate_trace.py``.
@@ -29,8 +33,95 @@ import json
 import sys
 from pathlib import Path
 
-_SCHEMA = "hopperdissect.counters/v1"
-_KEYS = {"schema", "context", "counters"}
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.counters import counter_sort_key  # noqa: E402
+
+_SCHEMA_V1 = "hopperdissect.counters/v1"
+_SCHEMA_V2 = "hopperdissect.counters/v2"
+_KEYS_V1 = {"schema", "context", "counters"}
+_KEYS_V2 = {"schema", "context", "labels", "experiments",
+            "orchestration"}
+
+
+def _check_bank(path: Path, where: str, counters, *,
+                ordered: bool = True) -> int:
+    if not isinstance(counters, dict):
+        raise ValueError(f"{path}: {where} must be an object")
+    for name, value in counters.items():
+        if not name or not isinstance(name, str):
+            raise ValueError(
+                f"{path}: bad counter name {name!r} in {where}")
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            raise ValueError(
+                f"{path}: counter {name!r} in {where} has "
+                f"non-monotonic or non-integer value {value!r}")
+    if ordered:
+        names = list(counters)
+        if names != sorted(names, key=counter_sort_key):
+            raise ValueError(
+                f"{path}: {where} not in canonical counter order")
+    return len(counters)
+
+
+def _check_context(path: Path, payload) -> None:
+    ctx = payload["context"]
+    if ctx is not None and not isinstance(ctx, str):
+        raise ValueError(f"{path}: context must be a string or null")
+
+
+def _validate_v1(path: Path, raw: str, payload: dict) -> int:
+    if set(payload) != _KEYS_V1:
+        raise ValueError(
+            f"{path}: keys {sorted(payload)} != {sorted(_KEYS_V1)}")
+    _check_context(path, payload)
+    counters = payload["counters"]
+    # v1 predates numeric bucket ordering — its canonical form is a
+    # plain lexical sort, enforced by the re-serialization below
+    _check_bank(path, "counters", counters, ordered=False)
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n"
+    if raw != canonical:
+        raise ValueError(
+            f"{path}: not in canonical v1 form (sorted keys, compact "
+            "separators, trailing newline)")
+    return len(counters)
+
+
+def _validate_v2(path: Path, raw: str, payload: dict) -> int:
+    if set(payload) != _KEYS_V2:
+        raise ValueError(
+            f"{path}: keys {sorted(payload)} != {sorted(_KEYS_V2)}")
+    _check_context(path, payload)
+    labels = payload["labels"]
+    if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()):
+        raise ValueError(
+            f"{path}: labels must map strings to strings")
+    experiments = payload["experiments"]
+    if not isinstance(experiments, dict):
+        raise ValueError(f"{path}: experiments must be an object")
+    total = 0
+    for exp, bank in experiments.items():
+        if not exp or not isinstance(exp, str):
+            raise ValueError(f"{path}: bad experiment name {exp!r}")
+        total += _check_bank(path, f"experiments[{exp!r}]", bank)
+    if list(experiments) != sorted(experiments):
+        raise ValueError(
+            f"{path}: experiments not sorted by name")
+    total += _check_bank(path, "orchestration",
+                         payload["orchestration"])
+    # v2 canonical form is the writer's exact key order — re-serialize
+    # without re-sorting
+    canonical = json.dumps(payload, sort_keys=False,
+                           separators=(",", ":")) + "\n"
+    if raw != canonical:
+        raise ValueError(
+            f"{path}: not in canonical v2 form (writer key order, "
+            "compact separators, trailing newline)")
+    return total
 
 
 def validate(path: Path) -> int:
@@ -38,33 +129,14 @@ def validate(path: Path) -> int:
     payload = json.loads(raw)
     if not isinstance(payload, dict):
         raise ValueError(f"{path}: top level must be an object")
-    if set(payload) != _KEYS:
-        raise ValueError(
-            f"{path}: keys {sorted(payload)} != {sorted(_KEYS)}")
-    if payload["schema"] != _SCHEMA:
-        raise ValueError(
-            f"{path}: schema {payload['schema']!r} != {_SCHEMA!r}")
-    ctx = payload["context"]
-    if ctx is not None and not isinstance(ctx, str):
-        raise ValueError(f"{path}: context must be a string or null")
-    counters = payload["counters"]
-    if not isinstance(counters, dict):
-        raise ValueError(f"{path}: counters must be an object")
-    for name, value in counters.items():
-        if not name or not isinstance(name, str):
-            raise ValueError(f"{path}: bad counter name {name!r}")
-        if not isinstance(value, int) or isinstance(value, bool) \
-                or value < 0:
-            raise ValueError(
-                f"{path}: counter {name!r} has non-monotonic or "
-                f"non-integer value {value!r}")
-    canonical = json.dumps(payload, sort_keys=True,
-                           separators=(",", ":")) + "\n"
-    if raw != canonical:
-        raise ValueError(
-            f"{path}: not in canonical form (sorted keys, compact "
-            "separators, trailing newline)")
-    return len(counters)
+    schema = payload.get("schema")
+    if schema == _SCHEMA_V1:
+        return _validate_v1(path, raw, payload)
+    if schema == _SCHEMA_V2:
+        return _validate_v2(path, raw, payload)
+    raise ValueError(
+        f"{path}: unknown schema {schema!r} (expected "
+        f"{_SCHEMA_V1!r} or {_SCHEMA_V2!r})")
 
 
 def main(argv) -> int:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.arch import DeviceSpec
+from repro.obs.session import counters_or_null
 from repro.sm.occupancy import BlockConfig, occupancy
 
 __all__ = [
@@ -46,6 +47,10 @@ __all__ = [
     "TiledMatmulModel",
     "benchmark_table",
 ]
+
+
+#: CopyVariant → the counter slug of its tile-copy byte path
+_VARIANT_PATHS = {"SYNC": "sync", "ASYNC": "cp_async", "TMA": "tma"}
 
 
 class CopyVariant(enum.Enum):
@@ -206,11 +211,24 @@ class TiledMatmulModel:
         return x
 
     def step_breakdown(self, cfg: AsyncCopyConfig) -> StepBreakdown:
-        return StepBreakdown(
+        step = StepBreakdown(
             compute_clk=self.compute_clk(cfg),
             copy_issue_clk=self.copy_issue_clk(cfg),
             overhead_clk=self._overhead_clk(cfg),
         )
+        obs = counters_or_null()
+        if obs.enabled:
+            # pipeline-stage decomposition of the priced step: load =
+            # tile-copy issue, compute = the shared-memory-bound inner
+            # product, drain = exposed latency + barrier/bookkeeping
+            obs.add("async.steps")
+            obs.add(f"async.variant.{cfg.variant.name.lower()}")
+            obs.observe("async.stage.load", step.copy_issue_clk)
+            obs.observe("async.stage.compute", step.compute_clk)
+            obs.observe("async.stage.drain", step.overhead_clk)
+            obs.add(f"async.bytes.{_VARIANT_PATHS[cfg.variant.name]}",
+                    cfg.copy_bytes_per_step)
+        return step
 
     # -- resident blocks ---------------------------------------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.arch import DeviceSpec
 from repro.isa.lowering import UnsupportedInstruction
 from repro.isa.memory_ops import TmaCopy
+from repro.obs.session import counters_or_null
 
 __all__ = ["TmaTransfer", "TmaModel"]
 
@@ -69,17 +70,27 @@ class TmaModel:
         stream = (copy.tile_bytes
                   / self.device.mem_widths.l1_bytes_per_clk_sm)
         latency = self.device.mem_latencies.global_clk
-        return TmaTransfer(
+        transfer = TmaTransfer(
             tile_bytes=copy.tile_bytes,
             cycles=_TMA_ISSUE_CLK + latency + stream,
             issuing_instructions=1,
             pipelined_cycles=_TMA_ISSUE_CLK + stream,
         )
+        obs = counters_or_null()
+        if obs.enabled:
+            obs.add("async.tma.transfers")
+            obs.add("async.bytes.tma", copy.tile_bytes)
+            obs.observe("async.latency.tma", transfer.cycles)
+        return transfer
 
     def cp_async_equivalent_instructions(self, tile_bytes: int) -> int:
         """Warp instructions a cp.async version of the copy would issue
         — the occupancy the TMA engine hands back to the program."""
-        return max(1, round(tile_bytes / _CP_ASYNC_BYTES_PER_INSTR))
+        instrs = max(1, round(tile_bytes / _CP_ASYNC_BYTES_PER_INSTR))
+        obs = counters_or_null()
+        if obs.enabled:
+            obs.add("async.cp_async.equiv_instructions", instrs)
+        return instrs
 
     def issue_reduction(self, copy: TmaCopy) -> float:
         """Instruction-issue savings factor of TMA over cp.async."""

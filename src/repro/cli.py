@@ -105,11 +105,26 @@ def _make_obs(args):
     (instrumentation stays on its null-object fast path)."""
     if (getattr(args, "counters", False)
             or getattr(args, "counters_json", None)
+            or getattr(args, "metrics", None)
             or getattr(args, "trace", None)):
         from repro.obs import ObsSession
 
         return ObsSession(trace=bool(getattr(args, "trace", None)))
     return None
+
+
+def _write_metrics(session, path, context) -> None:
+    """``--metrics PATH``: labeled export, format by extension —
+    ``.json`` gets the counters/v2 document, anything else the
+    OpenMetrics text exposition."""
+    if str(path).endswith(".json"):
+        session.write_counters_v2(path, context=context)
+        form = "counters/v2 JSON"
+    else:
+        session.write_openmetrics(path, context=context)
+        form = "OpenMetrics text"
+    print(f"wrote {path} ({form}, "
+          f"{len(session.per_experiment)} experiment banks)")
 
 
 def _finish_obs(session, args, context=None) -> None:
@@ -124,6 +139,9 @@ def _finish_obs(session, args, context=None) -> None:
         session.write_counters_json(counters_path, context=context)
         print(f"wrote {counters_path} "
               f"({len(session.counters)} counters)")
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        _write_metrics(session, metrics_path, context)
     trace_path = getattr(args, "trace", None)
     if trace_path:
         session.write_trace(trace_path)
@@ -265,12 +283,43 @@ def _cmd_stats(args) -> int:
                                     context=context)
         print(f"\nwrote {args.counters_json} "
               f"({len(session.counters)} counters)")
+    if args.openmetrics:
+        session.write_openmetrics(args.openmetrics, context=context)
+        print(f"\nwrote {args.openmetrics} (OpenMetrics text)")
+    if args.metrics_json:
+        session.write_counters_v2(args.metrics_json, context=context)
+        print(f"\nwrote {args.metrics_json} (counters/v2 JSON)")
     if args.trace:
         session.write_trace(args.trace)
         print(f"\nwrote {args.trace} "
               f"({len(session.tracer.events)} events; load in "
               f"ui.perfetto.dev or chrome://tracing)")
-    return 0 if res.passed else 1
+    drift_failed = False
+    if args.diff:
+        import os
+
+        from repro.obs import diff_payloads, load_counters_v2
+
+        baseline_path = args.diff
+        if os.path.isdir(baseline_path):
+            baseline_path = os.path.join(baseline_path,
+                                         f"{args.experiment}.json")
+        try:
+            baseline = load_counters_v2(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"hopperdissect: cannot load baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        report_drift = diff_payloads(
+            baseline,
+            session.counters_v2_payload(context=context),
+            tolerance=args.tolerance,
+            baseline_label=baseline_path,
+        )
+        print()
+        print(report_drift.render())
+        drift_failed = not report_drift.passed
+    return 0 if res.passed and not drift_failed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -303,6 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH", dest="counters_json",
                         help="dump the counter bank as canonical "
                              "JSON (hopperdissect.counters/v1)")
+        sp.add_argument("--metrics", default=None, metavar="PATH",
+                        help="export labeled per-experiment counters: "
+                             "counters/v2 JSON for .json paths, "
+                             "OpenMetrics text otherwise")
         sp.add_argument("--trace", default=None, metavar="PATH",
                         help="write a structured trace (Chrome/"
                              "Perfetto JSON, or JSONL for .jsonl "
@@ -366,8 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="PATH", dest="counters_json",
                          help="also dump the counter bank as "
                               "canonical JSON")
+    stats_p.add_argument("--openmetrics", default=None,
+                         metavar="PATH",
+                         help="also export the labeled counters as "
+                              "OpenMetrics text exposition")
+    stats_p.add_argument("--metrics-json", default=None,
+                         metavar="PATH", dest="metrics_json",
+                         help="also export the labeled counters as "
+                              "counters/v2 JSON")
     stats_p.add_argument("--trace", default=None, metavar="PATH",
                          help="also write a structured trace")
+    stats_p.add_argument("--diff", default=None, metavar="BASELINE",
+                         help="diff this run's counters against a "
+                              "golden counters/v2 baseline (file, or "
+                              "directory holding "
+                              "<experiment>.json); exits 1 on "
+                              "failing drift")
+    stats_p.add_argument("--tolerance", type=float, default=0.0,
+                         metavar="FRAC",
+                         help="relative drift allowed per histogram "
+                              "bucket, as a fraction of the "
+                              "family's total observations "
+                              "(default: 0 — exact)")
     stats_p.set_defaults(fn=_cmd_stats)
     return p
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.arch import DeviceSpec
 from repro.dsm.network import SmToSmNetwork
 from repro.memory.shared import SharedMemory
+from repro.obs.session import counters_or_null
 
 __all__ = ["Cluster", "RemoteSharedHandle"]
 
@@ -44,35 +45,36 @@ class RemoteSharedHandle:
     def _smem(self) -> SharedMemory:
         return self.cluster.block_smem(self.owner_rank)
 
-    def _account(self) -> float:
+    def _account(self, nbytes: int) -> float:
         if self.remote:
             lat = self.cluster.network.latency_clk
         else:
             lat = self.cluster.device.mem_latencies.shared_clk
         self.cluster.record_access(self.accessor_rank, remote=self.remote,
-                                   cycles=lat)
+                                   cycles=lat, nbytes=nbytes)
         return lat
 
     # -- data operations ----------------------------------------------------
 
     def read_u32(self, offset: int) -> int:
-        self._account()
+        self._account(4)
         return self._smem.read_u32(offset)
 
     def write_u32(self, offset: int, value: int) -> None:
-        self._account()
+        self._account(4)
         self._smem.write_u32(offset, value)
 
     def atomic_add_u32(self, offset: int, value: int = 1) -> int:
-        self._account()
+        self._account(4)
         return self._smem.atomic_add_u32(offset, value)
 
     def read(self, offset: int, size: int) -> np.ndarray:
-        self._account()
+        self._account(size)
         return self._smem.read(offset, size)
 
     def write(self, offset: int, payload) -> None:
-        self._account()
+        data = np.asarray(payload)
+        self._account(int(data.nbytes) if data.nbytes else 4)
         self._smem.write(offset, payload)
 
 
@@ -91,6 +93,7 @@ class Cluster:
     access_cycles: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
+        self._obs = counters_or_null()
         self.network = SmToSmNetwork(self.device)  # validates arch
         if not 1 <= self.cluster_size <= self.device.max_cluster_size:
             raise ValueError(
@@ -128,12 +131,23 @@ class Cluster:
         return RemoteSharedHandle(self, target_rank, accessor_rank)
 
     def record_access(self, rank: int, *, remote: bool,
-                      cycles: float) -> None:
+                      cycles: float, nbytes: int = 4) -> None:
         if remote:
             self.remote_accesses += 1
         else:
             self.local_accesses += 1
         self.access_cycles += cycles
+        obs = self._obs
+        if obs.enabled:
+            # a remote access is one hop across the GPC fabric; a
+            # local one never leaves the SM
+            kind = "remote" if remote else "local"
+            if remote:
+                obs.add("dsm.hops")
+            else:
+                obs.add("dsm.access.local")
+            obs.add(f"dsm.bytes.{kind}", nbytes)
+            obs.observe(f"dsm.latency.{kind}", cycles)
 
     @property
     def total_accesses(self) -> int:

@@ -29,9 +29,18 @@ import numpy as np
 from repro.arch import DeviceSpec
 from repro.dsm.cluster import Cluster
 from repro.dsm.network import SmToSmNetwork
+from repro.obs.session import counters_or_null
 from repro.sm.occupancy import BlockConfig, occupancy
 
 __all__ = ["HistogramConfig", "HistogramResult", "DsmHistogram"]
+
+#: limiter strings → counter slugs (``dsm.hist.limited_by.<slug>``)
+_LIMITER_SLUGS = {
+    "latency": "latency",
+    "DRAM": "dram",
+    "SM-to-SM network": "network",
+    "shared memory": "shared_memory",
+}
 
 #: extra per-element issue overhead growing with cluster bookkeeping
 _CLUSTER_OVERHEAD_CLK_PER_CS = 0.02
@@ -144,8 +153,12 @@ class DsmHistogram:
         return lat.global_clk + atomic + overhead
 
     def measure(self, cfg: HistogramConfig) -> HistogramResult:
+        obs = counters_or_null()
         nb = self.resident_blocks(cfg)
         if nb == 0:
+            if obs.enabled:
+                obs.add("dsm.hist.configs")
+                obs.add("dsm.hist.limited_by.shared_memory")
             return HistogramResult(cfg, 0, 0.0, 0.0, "shared memory")
         candidates = {}
         inflight = nb * cfg.block_threads
@@ -164,6 +177,11 @@ class DsmHistogram:
             )
         limiter = min(candidates, key=candidates.get)
         e_clk = candidates[limiter]
+        if obs.enabled:
+            obs.add("dsm.hist.configs")
+            obs.add(f"dsm.hist.limited_by.{_LIMITER_SLUGS[limiter]}")
+            obs.observe("dsm.latency.element",
+                        self.per_element_latency_clk(cfg))
         return HistogramResult(
             config=cfg,
             resident_blocks=nb,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.arch import DeviceSpec
 from repro.isa.lowering import UnsupportedInstruction
+from repro.obs.session import counters_or_null
 
 __all__ = ["SmToSmNetwork"]
 
@@ -66,9 +67,17 @@ class SmToSmNetwork:
         if cluster_size < 2:
             return 0.0  # no remote traffic possible
         cal = self.device.pack.dsm
-        return cal.link_bytes_per_clk / (
+        eff = cal.link_bytes_per_clk / (
             1.0 + cal.contention_alpha * (cluster_size - 1)
         )
+        obs = counters_or_null()
+        if obs.enabled:
+            obs.add("dsm.fabric.queries")
+            # cycles one 128 B packet loses to fabric sharing vs an
+            # uncontended link — the contention-stall distribution
+            stall = 128.0 / eff - 128.0 / cal.link_bytes_per_clk
+            obs.observe("dsm.stall.contention", stall)
+        return eff
 
     def aggregate_bandwidth_tbps(self, cluster_size: int,
                                  *, active_sms: int | None = None) -> float:

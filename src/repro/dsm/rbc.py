@@ -22,6 +22,7 @@ from typing import Iterable, List
 from repro.arch import DeviceSpec
 from repro.dsm.cluster import Cluster
 from repro.dsm.network import SmToSmNetwork
+from repro.obs.session import counters_or_null
 
 __all__ = ["RingCopyBenchmark", "RingCopyResult"]
 
@@ -86,6 +87,18 @@ class RingCopyBenchmark:
         # one block per SM; every SM of every cluster communicates
         active = (self.device.num_sms // cluster_size) * cluster_size
         agg = per_sm * active * self.device.clocks.observed_hz / 1e12
+        obs = counters_or_null()
+        if obs.enabled:
+            # per-link accounting of one modeled ring step: every
+            # communicating SM drives its fabric link with one remote
+            # hop of warps × ILP in-flight stores
+            obs.add("dsm.rbc.configs")
+            obs.add("dsm.link.active", active)
+            obs.add("dsm.hops", active)
+            obs.add("dsm.bytes.injected",
+                    int(warps * ilp * self.BYTES_PER_INSTR) * active)
+            obs.add("dsm.rbc.latency_bound" if lat_bw < fabric_bw
+                    else "dsm.rbc.fabric_bound")
         return RingCopyResult(
             cluster_size=cluster_size,
             block_threads=block_threads,

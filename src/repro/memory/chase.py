@@ -51,6 +51,8 @@ import numpy as np
 from repro.isa.memory_ops import CacheOp
 from repro.memory.hierarchy import (BatchAccessResult, MemLevel,
                                     MemoryHierarchy)
+from repro.obs.session import active_tracer
+from repro.obs.trace import SIM_TRACK
 
 __all__ = ["ChaseEngine", "ChaseStats", "chase_total_clk",
            "latency_counts"]
@@ -178,6 +180,12 @@ class ChaseEngine:
         simulated = extrapolated = 0
 
         obs = h._obs
+        # Sampled tracing: the trace stays small no matter how long
+        # the chase is — one span for the steady-state (confirming)
+        # superlap plus one fixed-point instant, on the sim-cycle
+        # clock, instead of an event per access or per lap.
+        tracer = active_tracer()
+        cycle_cursor = 0.0
         prev_sig: Optional[bytes] = None
         done = 0
         while done < iters:
@@ -202,6 +210,9 @@ class ChaseEngine:
             tlb_hits += res.tlb_hits
             simulated += superlap
             done += superlap
+            if tracer is not None:
+                lap_clk = float(res.latency_clk.sum())
+                cycle_cursor += lap_clk
             # A signature only pays if a comparison can still save
             # work: comparing needs a *next* full superlap (whose own
             # signature requires ``done + superlap <= iters`` then),
@@ -225,6 +236,24 @@ class ChaseEngine:
                     # superlaps analytically from the confirming
                     # superlap's deltas
                     k = (iters - done) // superlap
+                    if tracer is not None:
+                        tracer.complete(
+                            "chase steady-state lap",
+                            cycle_cursor - lap_clk, lap_clk,
+                            cat="chase", pid=SIM_TRACK,
+                            tid=f"chase sm{self.sm_id}",
+                            args={"period": period,
+                                  "superlap": superlap,
+                                  "lap_clk": lap_clk})
+                        tracer.instant(
+                            "chase fixed point",
+                            ts=cycle_cursor,
+                            cat="chase", pid=SIM_TRACK,
+                            tid=f"chase sm{self.sm_id}",
+                            args={"iters": iters,
+                                  "simulated": simulated,
+                                  "extrapolated_laps": k,
+                                  "extrapolated": k * superlap})
                     if k:
                         self._absorb(res, counts, levels, scale=k)
                         tlb_hits += res.tlb_hits * k
@@ -234,6 +263,8 @@ class ChaseEngine:
                                            k)
                         extrapolated += k * superlap
                         done += k * superlap
+                        if tracer is not None:
+                            cycle_cursor += k * lap_clk
                 prev_sig = sig
         return ChaseStats(iters=iters, latency_counts=counts,
                           level_counts=levels, tlb_hits=tlb_hits,

@@ -10,6 +10,14 @@ the span/event tracer with Chrome-trace/Perfetto export, and
 subcommand, aggregated deterministically across the process-pool
 runner.
 
+On top of the bank sit three derived planes:
+:mod:`repro.obs.export` renders the per-experiment labeled banks to
+OpenMetrics text and ``hopperdissect.counters/v2`` JSON (byte-identical
+serial vs ``--jobs N``), :mod:`repro.obs.diff` is the golden-baseline
+counter-regression gate (``hopperdissect stats --diff``), and
+:mod:`repro.obs.catalog` is the registry every emitted counter family
+must appear in — rendered to ``docs/counters.md`` and enforced in CI.
+
 This package is an import leaf: it depends only on the standard
 library (NumPy lazily), so every simulator layer can instrument
 itself without cycles.
@@ -23,6 +31,29 @@ from repro.obs.counters import (
     NullCounterSet,
     bucket_bound,
     bucket_label,
+    counter_sort_key,
+    split_bucket,
+)
+from repro.obs.catalog import (
+    CATALOG,
+    CounterEntry,
+    catalog_markdown,
+    lookup,
+    uncatalogued,
+)
+from repro.obs.diff import (
+    CounterDrift,
+    DriftReport,
+    diff_files,
+    diff_payloads,
+)
+from repro.obs.export import (
+    COUNTERS_V2_SCHEMA,
+    ORCHESTRATION,
+    counters_v2_payload,
+    load_counters_v2,
+    render_counters_v2,
+    render_openmetrics,
 )
 from repro.obs.session import (
     ObsSession,
@@ -39,6 +70,23 @@ __all__ = [
     "NULL_COUNTERS",
     "bucket_bound",
     "bucket_label",
+    "counter_sort_key",
+    "split_bucket",
+    "COUNTERS_V2_SCHEMA",
+    "ORCHESTRATION",
+    "counters_v2_payload",
+    "load_counters_v2",
+    "render_counters_v2",
+    "render_openmetrics",
+    "CounterDrift",
+    "DriftReport",
+    "diff_files",
+    "diff_payloads",
+    "CATALOG",
+    "CounterEntry",
+    "catalog_markdown",
+    "lookup",
+    "uncatalogued",
     "Tracer",
     "WALL_TRACK",
     "SIM_TRACK",

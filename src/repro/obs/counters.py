@@ -30,6 +30,7 @@ vectorized paths pay nothing measurable.
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 
 __all__ = [
@@ -38,6 +39,8 @@ __all__ = [
     "NULL_COUNTERS",
     "bucket_bound",
     "bucket_label",
+    "counter_sort_key",
+    "split_bucket",
 ]
 
 
@@ -58,6 +61,37 @@ def bucket_label(name: str, value: float) -> str:
     buckets in numeric order.
     """
     return f"{name}.le{bucket_bound(value):08d}"
+
+
+#: a histogram bucket key: ``<family>.le<decimal bound>``
+_BUCKET_RE = re.compile(r"^(?P<family>.+)\.le(?P<bound>\d+)$")
+
+
+def split_bucket(name: str) -> Tuple[str, Optional[int]]:
+    """``(family, bound)`` for a histogram bucket key, else
+    ``(name, None)`` — how the export/diff layers recognise which
+    counters belong to the same latency histogram."""
+    m = _BUCKET_RE.match(name)
+    if m is None:
+        return name, None
+    return m.group("family"), int(m.group("bound"))
+
+
+def counter_sort_key(name: str) -> Tuple[str, int]:
+    """Canonical dump ordering: histogram buckets sort *numerically*
+    by bound within their family.
+
+    Zero-padding keeps the lexicographic order numeric only up to
+    eight digits; a ``.le134217728`` bucket (2^27 cycles) would sort
+    *after* ``.le1073741824`` (2^30) lexically.  Every dump/rendering
+    path sorts with this key instead, so deep-tail buckets list in
+    bound order.  For names without a bucket suffix (and for all
+    bounds below 10^8) the order is identical to a plain string sort.
+    """
+    family, bound = split_bucket(name)
+    if bound is None:
+        return name, -1
+    return f"{family}.le", bound
 
 
 class CounterSet:
@@ -111,16 +145,23 @@ class CounterSet:
                    if k.startswith(prefix))
 
     def items(self) -> Iterator[Tuple[str, int]]:
-        """Counters in sorted-name order."""
-        return iter(sorted(self._counters.items()))
+        """Counters in canonical order (:func:`counter_sort_key` —
+        name order, histogram buckets numeric by bound)."""
+        return iter(sorted(self._counters.items(),
+                           key=lambda kv: counter_sort_key(kv[0])))
 
     def as_dict(self) -> Dict[str, int]:
-        """A sorted plain-dict snapshot (the merge/transport format)."""
-        return dict(sorted(self._counters.items()))
+        """A canonically ordered plain-dict snapshot (the
+        merge/transport format)."""
+        return dict(self.items())
 
     def dump(self) -> str:
-        """Canonical JSON — byte-identical for equal counter states."""
-        return json.dumps(self.as_dict(), sort_keys=True,
+        """Canonical JSON — byte-identical for equal counter states.
+
+        Keys keep :meth:`items` order (``sort_keys`` would fall back
+        to the lexicographic order that misplaces 9-digit histogram
+        bounds)."""
+        return json.dumps(self.as_dict(), sort_keys=False,
                           separators=(",", ":"))
 
     def delta_since(self, snapshot: Mapping[str, int]) \

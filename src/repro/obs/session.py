@@ -75,6 +75,10 @@ class ObsSession:
     def __init__(self, *, trace: bool = False) -> None:
         self.counters = CounterSet()
         self.tracer: Optional[Tracer] = Tracer() if trace else None
+        #: per-experiment counter banks — populated when the runner
+        #: merges worker dumps with an ``experiment=`` attribution;
+        #: what the labeled exports (OpenMetrics, counters/v2) render
+        self.per_experiment: Dict[str, CounterSet] = {}
 
     # -- activation ---------------------------------------------------------
 
@@ -127,14 +131,54 @@ class ObsSession:
             if self.tracer is not None else [],
         }
 
-    def merge(self, dump: Optional[Dict[str, Any]]) -> None:
-        """Fold a worker's (or nested session's) delta into this one."""
+    def merge(self, dump: Optional[Dict[str, Any]],
+              experiment: Optional[str] = None) -> None:
+        """Fold a worker's (or nested session's) delta into this one.
+
+        ``experiment`` attributes the delta's counters to that
+        experiment's labeled bank as well as the flat totals; the
+        runner passes the experiment name so the export layer can
+        label every counter.  Attribution is pure addition of integer
+        deltas, so it inherits the flat bank's determinism: serial and
+        process-pool runs build identical labeled banks.
+        """
         if not dump:
             return
-        self.counters.merge(dump.get("counters", {}))
+        counters = dump.get("counters", {})
+        self.counters.merge(counters)
+        if experiment is not None and counters:
+            bank = self.per_experiment.get(experiment)
+            if bank is None:
+                bank = self.per_experiment[experiment] = CounterSet()
+            bank.merge(counters)
         events = dump.get("events")
         if events and self.tracer is not None:
             self.tracer.merge(events)
+
+    # -- labeled views ------------------------------------------------------
+
+    def experiment_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-experiment banks as plain dicts, experiments sorted by
+        name, counters in canonical order."""
+        return {name: self.per_experiment[name].as_dict()
+                for name in sorted(self.per_experiment)}
+
+    def orchestration_counters(self) -> Dict[str, int]:
+        """Counters fired *outside* any experiment — the flat totals
+        minus every attributed bank: cache probes, the ``exp.completed``
+        hook, runner self-profiling."""
+        from repro.obs.counters import counter_sort_key
+
+        rem = dict(self.counters.as_dict())
+        for bank in self.per_experiment.values():
+            for name, value in bank.as_dict().items():
+                left = rem.get(name, 0) - value
+                if left:
+                    rem[name] = left
+                else:
+                    rem.pop(name, None)
+        return dict(sorted(rem.items(),
+                           key=lambda kv: counter_sort_key(kv[0])))
 
     # -- rendering ----------------------------------------------------------
 
@@ -190,6 +234,61 @@ class ObsSession:
             json.dump(payload, fh, sort_keys=True,
                       separators=(",", ":"))
             fh.write("\n")
+        return path
+
+    def _labeled_banks(self) -> Dict[str, Dict[str, int]]:
+        """Every labeled bank plus the orchestration remainder under
+        the :data:`~repro.obs.export.ORCHESTRATION` key — the input
+        shape of the OpenMetrics renderer."""
+        from repro.obs.export import ORCHESTRATION
+
+        banks = self.experiment_counters()
+        orchestration = self.orchestration_counters()
+        if orchestration or not banks:
+            banks[ORCHESTRATION] = orchestration
+        return banks
+
+    def write_openmetrics(self, path, *,
+                          context: Optional[Any] = None) -> str:
+        """Serialize the labeled banks as OpenMetrics text exposition
+        (see :func:`repro.obs.export.render_openmetrics`); returns the
+        written path."""
+        from repro.obs.export import context_labels, render_openmetrics
+
+        text = render_openmetrics(self._labeled_banks(),
+                                  labels=context_labels(context))
+        path = str(path)
+        with open(path, "w") as fh:
+            fh.write(text)
+        return path
+
+    def counters_v2_payload(self, *,
+                            context: Optional[Any] = None) \
+            -> Dict[str, Any]:
+        """The in-memory counters/v2 document — what the drift gate
+        diffs against a committed golden baseline without touching
+        disk."""
+        from repro.obs.export import context_labels, counters_v2_payload
+
+        return counters_v2_payload(self.experiment_counters(),
+                                   self.orchestration_counters(),
+                                   labels=context_labels(context),
+                                   context=context)
+
+    def write_counters_v2(self, path, *,
+                          context: Optional[Any] = None) -> str:
+        """Serialize the labeled banks as ``hopperdissect.counters/v2``
+        JSON (see :func:`repro.obs.export.render_counters_v2`); returns
+        the written path."""
+        from repro.obs.export import context_labels, render_counters_v2
+
+        text = render_counters_v2(self.experiment_counters(),
+                                  self.orchestration_counters(),
+                                  labels=context_labels(context),
+                                  context=context)
+        path = str(path)
+        with open(path, "w") as fh:
+            fh.write(text)
         return path
 
     # -- trace output -------------------------------------------------------

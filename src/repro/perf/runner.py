@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -114,14 +115,27 @@ def run_experiments(
     results: Dict[str, ExperimentResult] = {}
     timings: Dict[str, Tuple[float, bool]] = {}
 
+    sess = _obs.ACTIVE
+    tracer = sess.tracer if sess is not None else None
+
+    def _span(label: str, **args):
+        """A ``runner.*`` self-profiling span on the wall track —
+        orchestration overhead (cache probes, serialization, dispatch,
+        merge) shows up in the trace next to the experiment spans."""
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(label, cat="runner", tid="runner",
+                           args=args or None)
+
     # 1. serve what we can from the cache
     pending: List[str] = []
     for name in names:
         hit = None
         if cache is not None:
-            t0 = time.perf_counter()
-            hit = cache.get(name, ctx)
-            wall = time.perf_counter() - t0
+            with _span("runner.cache_lookup", experiment=name):
+                t0 = time.perf_counter()
+                hit = cache.get(name, ctx)
+                wall = time.perf_counter() - t0
         if hit is not None:
             results[name] = hit
             timings[name] = (wall, True)
@@ -130,18 +144,20 @@ def run_experiments(
 
     # 2. run the rest, fanned out if asked to
     if pending:
-        sess = _obs.ACTIVE
         obs_cfg = ({"trace": sess.tracer is not None}
                    if sess is not None else None)
-        payload = ctx.to_payload()
-        tasks = [(name, payload, obs_cfg) for name in pending]
-        if jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending))
-            ) as pool:
-                outcomes = list(pool.map(_run_one, tasks))
-        else:
-            outcomes = [_run_one(task) for task in tasks]
+        with _span("runner.context_serialize"):
+            payload = ctx.to_payload()
+            tasks = [(name, payload, obs_cfg) for name in pending]
+        with _span("runner.dispatch", jobs=max(1, jobs),
+                   pending=len(pending)):
+            if jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))
+                ) as pool:
+                    outcomes = list(pool.map(_run_one, tasks))
+            else:
+                outcomes = [_run_one(task) for task in tasks]
         for name, table, checks, wall, dump in outcomes:
             res = ExperimentResult(
                 experiment=get_experiment(name),
@@ -152,10 +168,12 @@ def run_experiments(
             results[name] = res
             timings[name] = (wall, False)
             if sess is not None and dump is not None:
-                sess.merge(dump)
+                with _span("runner.merge", experiment=name):
+                    sess.merge(dump, experiment=name)
             ctx.emit(name, wall)
             if cache is not None:
-                cache.put(name, res, ctx)
+                with _span("runner.cache_store", experiment=name):
+                    cache.put(name, res, ctx)
 
     # 3. deterministic merge: requested order, whatever ran where
     ordered = {name: results[name] for name in names}

@@ -13,6 +13,8 @@ from repro.obs.counters import (
     NullCounterSet,
     bucket_bound,
     bucket_label,
+    counter_sort_key,
+    split_bucket,
 )
 
 
@@ -109,6 +111,64 @@ class TestHistogramBuckets:
         c = CounterSet()
         c.observe_many("lat", np.array([]))
         assert not c
+
+
+class TestBucketDumpOrdering:
+    """Dumps must list histogram buckets in *numeric* bound order.
+
+    Zero-padded labels only sort numerically up to eight digits; a
+    chase that spends 2^27+ cycles in a bucket used to land after the
+    2^30 bucket in every dump.  This pins the numeric ordering.
+    """
+
+    def test_split_bucket(self):
+        assert split_bucket("mem.latency.l2.le00000512") \
+            == ("mem.latency.l2", 512)
+        assert split_bucket("mem.latency.l2.le134217728") \
+            == ("mem.latency.l2", 134217728)
+        assert split_bucket("mem.loads") == ("mem.loads", None)
+        assert split_bucket("dsm.hops") == ("dsm.hops", None)
+
+    def test_deep_tail_buckets_sort_numerically(self):
+        c = CounterSet()
+        c.observe("lat", 2 ** 30)      # lat.le1073741824
+        c.observe("lat", 2 ** 27)      # lat.le134217728
+        c.observe("lat", 300)          # lat.le00000512
+        names = [k for k, _ in c.items()]
+        assert names == ["lat.le00000512", "lat.le134217728",
+                         "lat.le1073741824"]
+        # the lexicographic order this replaces is provably wrong here
+        assert names != sorted(names)
+
+    def test_dump_preserves_numeric_order(self):
+        c = CounterSet()
+        c.add("lat.le1073741824", 1)
+        c.add("lat.le00000256", 2)
+        c.add("lat.le134217728", 3)
+        assert list(json.loads(c.dump())) == [
+            "lat.le00000256", "lat.le134217728", "lat.le1073741824"]
+
+    def test_plain_names_keep_string_order(self):
+        c = CounterSet()
+        for name in ("zz", "aa", "mm.le", "mm.lex"):
+            c.add(name)
+        assert [k for k, _ in c.items()] == ["aa", "mm.le", "mm.lex",
+                                             "zz"]
+
+    def test_sort_key_matches_lexical_below_1e8(self):
+        names = ["a.le00000001", "a.le00000512", "a.le00099999",
+                 "a", "a.lex", "b", "mem.latency.l2.le00000064"]
+        assert sorted(names) == sorted(names, key=counter_sort_key)
+
+    def test_renderer_uses_numeric_order(self):
+        from repro.obs import ObsSession
+
+        session = ObsSession()
+        session.counters.observe("lat", 2 ** 30)
+        session.counters.observe("lat", 2 ** 27)
+        rendered = session.render_counters()
+        assert rendered.index("lat.le134217728") \
+            < rendered.index("lat.le1073741824")
 
 
 class TestNullCounterSet:
