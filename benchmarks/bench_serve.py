@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Batched query service vs a one-at-a-time point-query loop.
+
+Usage::
+
+    python benchmarks/bench_serve.py              # report
+    python benchmarks/bench_serve.py --check      # CI gates
+    python benchmarks/bench_serve.py \
+        --merge BENCH_perf.current.json           # + record
+
+Builds the acceptance workload — a 64-query JSONL batch spanning the
+three paper devices (te.linear grids, mma/wgmma instructions, memory
+chases, DSM probes, one unsupported-capability query) — and answers it
+twice through :class:`~repro.serve.QueryService`:
+
+* **sequential** — one ``answer()`` call per query, the way a naive
+  client would use the oracle: every call plans, dispatches and
+  expands a batch of one;
+* **batched** — one ``answer_batch()`` over the whole stream, letting
+  the planner coalesce same-(kind, device) queries onto single
+  vectorized sweeps (one ``linear_seconds_batch``, one ``MmaSweep``).
+
+Both passes run with the persistent cache off and fresh services, so
+the comparison is pure batching (no tier ever hits); the bench
+cross-checks that the prediction streams agree byte-for-byte before
+reporting.  ``tests/test_serve_service.py`` pins the equivalence and
+determinism claims, this script pins the *throughput* claim.
+
+Gates (``--check``):
+
+* batched throughput ``>= --min-speedup`` x the sequential loop
+  (default 5x — the batching planner's reason to exist);
+* warm point-query latency ``<= --max-point-ms`` (default 50 ms):
+  best-observed single ``answer()`` on a service whose memo tier is
+  warm — the interactive half of the service contract.
+
+``--merge`` injects the two timings as ``serve_sequential`` /
+``serve_batched`` pseudo-experiments into an existing
+``BENCH_perf.json`` snapshot.
+
+Also importable by pytest (``pytest benchmarks/``) for the
+pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.serve import Query, QueryService, parse_query
+
+_DEVICES = ("RTX4090", "A100", "H800")
+
+
+def acceptance_batch() -> List[Query]:
+    """The 64-query acceptance workload (deterministic, no RNG).
+
+    Deliberately coalescing-friendly: mostly te.linear/mma/wgmma
+    points that the planner folds onto single vectorized sweeps,
+    spanning three devices, plus one unsupported-capability query
+    (wgmma on V100) and one LLM query to keep the answer stream
+    heterogeneous.  Unbatchable per-query simulations (e.g. the
+    memory-latency chase) are benchmarked by ``bench_pchase.py``;
+    here they would only add identical wall time to both passes.
+    """
+    queries: List[Query] = []
+    for di, dev in enumerate(_DEVICES):
+        for i in range(16):
+            m = 256 * (1 + (i + di) % 16)
+            queries.append(parse_query(
+                {"kind": "te.linear", "device": dev,
+                 "precision": "fp16",
+                 "params": {"m": m, "n": m, "k": m}}))
+        queries.append(parse_query(
+            {"kind": "mma", "device": dev,
+             "params": {"ab": "fp16", "cd": "fp32",
+                        "m": 16, "n": 8, "k": 16}}))
+        queries.append(parse_query(
+            {"kind": "mma", "device": dev,
+             "params": {"ab": "bf16", "cd": "fp32",
+                        "m": 16, "n": 8, "k": 16}}))
+    for n in (8, 16, 32, 64, 128, 256):
+        queries.append(parse_query(
+            {"kind": "wgmma", "device": "H800",
+             "params": {"ab": "fp16", "cd": "fp32", "n": n}}))
+    queries.append(parse_query(
+        {"kind": "wgmma", "device": "V100",          # unsupported
+         "params": {"ab": "fp16", "cd": "fp32", "n": 64}}))
+    for cs in (2, 4):
+        queries.append(parse_query(
+            {"kind": "dsm.bandwidth", "device": "H800",
+             "params": {"cluster_size": cs}}))
+    queries.append(parse_query(
+        {"kind": "llm.generate", "device": "H800",
+         "precision": "fp8", "params": {"model": "llama-2-7B"}}))
+    assert len(queries) == 64, len(queries)
+    return queries
+
+
+def _render(predictions) -> List[str]:
+    return [p.to_line() for p in predictions]
+
+
+def run_sequential(queries: List[Query],
+                   repeat: int) -> Tuple[float, List[str]]:
+    """One-at-a-time loop on a fresh service per pass (best-of)."""
+    best = float("inf")
+    lines: List[str] = []
+    for _ in range(repeat):
+        service = QueryService(cache=None)
+        t0 = time.perf_counter()
+        predictions = [service.answer(q) for q in queries]
+        best = min(best, time.perf_counter() - t0)
+        lines = _render(predictions)
+    return best, lines
+
+
+def run_batched(queries: List[Query],
+                repeat: int) -> Tuple[float, List[str]]:
+    """One coalesced batch on a fresh service per pass (best-of)."""
+    best = float("inf")
+    lines: List[str] = []
+    for _ in range(repeat):
+        service = QueryService(cache=None)
+        t0 = time.perf_counter()
+        predictions = service.answer_batch(queries)
+        best = min(best, time.perf_counter() - t0)
+        lines = _render(predictions)
+    return best, lines
+
+
+def warm_point_latency(repeat: int) -> float:
+    """Best-observed warm ``answer()`` — the memo tier is hot, so this
+    is the floor an interactive client sees on a repeated question."""
+    service = QueryService(cache=None)
+    query = parse_query(
+        {"kind": "te.linear", "device": "H800", "precision": "fp16",
+         "params": {"m": 4096, "n": 4096, "k": 4096}})
+    service.answer(query)                    # warm the memo tier
+    best = float("inf")
+    for _ in range(max(repeat * 10, 10)):
+        t0 = time.perf_counter()
+        service.answer(query)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def merge_into_bench(path: Path, sequential_s: float,
+                     batched_s: float) -> None:
+    """Add both timings as pseudo-experiments to a bench snapshot."""
+    data = json.loads(path.read_text())
+    if data.get("schema") != 1:
+        raise ValueError(
+            f"{path}: unsupported bench schema {data.get('schema')!r}")
+    exps = data.setdefault("experiments", {})
+    exps["serve_sequential"] = {"cached": False,
+                                "wall_s": round(sequential_s, 6)}
+    exps["serve_batched"] = {"cached": False,
+                             "wall_s": round(batched_s, 6)}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="best-of-N timing (default: 3)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero unless both gates hold")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="batched-vs-sequential throughput the "
+                         "--check gate requires (default: 5.0)")
+    ap.add_argument("--max-point-ms", type=float, default=50.0,
+                    help="warm point-query latency ceiling in ms "
+                         "(default: 50)")
+    ap.add_argument("--merge", default=None, metavar="BENCH.json",
+                    help="inject serve_{sequential,batched} into an "
+                         "existing BENCH_perf.json snapshot")
+    args = ap.parse_args(argv)
+
+    queries = acceptance_batch()
+    sequential_s, seq_lines = run_sequential(queries, args.repeat)
+    batched_s, batch_lines = run_batched(queries, args.repeat)
+    if seq_lines != batch_lines:
+        print("FAIL: batched and sequential predictions disagree",
+              file=sys.stderr)
+        return 1
+    point_s = warm_point_latency(args.repeat)
+    speedup = sequential_s / batched_s if batched_s else float("inf")
+    print(f"{len(queries)} queries per pass "
+          f"(best of {args.repeat}):")
+    print(f"  one-at-a-time loop  {sequential_s * 1e3:8.2f} ms")
+    print(f"  batched service     {batched_s * 1e3:8.2f} ms  "
+          f"({speedup:.1f}x)")
+    print(f"  warm point query    {point_s * 1e3:8.3f} ms")
+
+    if args.merge:
+        merge_into_bench(Path(args.merge), sequential_s, batched_s)
+        print(f"merged into {args.merge}")
+
+    failed = False
+    if args.check and speedup < args.min_speedup:
+        print(f"FAIL: batched speedup {speedup:.2f}x is below the "
+              f"{args.min_speedup:.1f}x gate", file=sys.stderr)
+        failed = True
+    if args.check and point_s * 1e3 > args.max_point_ms:
+        print(f"FAIL: warm point query {point_s * 1e3:.2f} ms is "
+              f"over the {args.max_point_ms:.1f} ms ceiling",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+# -- pytest-benchmark entry points ----------------------------------------
+
+
+def test_batched_matches_and_beats_sequential():
+    queries = acceptance_batch()
+    sequential_s, seq_lines = run_sequential(queries, 1)
+    batched_s, batch_lines = run_batched(queries, 1)
+    assert seq_lines == batch_lines
+    assert batched_s < sequential_s
+
+
+def test_bench_serve_sequential(benchmark):
+    queries = acceptance_batch()
+    benchmark(lambda: run_sequential(queries, 1))
+
+
+def test_bench_serve_batched(benchmark):
+    queries = acceptance_batch()
+    benchmark(lambda: run_batched(queries, 1))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -63,12 +63,27 @@ def register_device(spec: DeviceSpec, *, overwrite: bool = False) -> None:
 
 
 def get_device(name: str) -> DeviceSpec:
-    """Look up a device by (case-insensitive) name."""
+    """Look up a device by (case-insensitive) name.
+
+    Unknown names raise a ``KeyError`` with close-match suggestions —
+    the same did-you-mean convention
+    :func:`~repro.core.registry.get_experiment` uses, so typos in CLI
+    queries fail helpfully instead of with a bare list.
+    """
     try:
         return DEVICES[name.upper()]
     except KeyError:
+        import difflib
+
+        close = difflib.get_close_matches(name.upper(),
+                                          list_devices(), n=3,
+                                          cutoff=0.4)
+        hint = (f"; did you mean "
+                f"{' or '.join(repr(c) for c in close)}?"
+                if close else "")
         raise KeyError(
-            f"unknown device {name!r}; known devices: {list_devices()}"
+            f"unknown device {name!r}; known devices: "
+            f"{list_devices()}{hint}"
         ) from None
 
 

@@ -15,6 +15,9 @@ Subcommands::
     hopperdissect run --all --counters-json c.json  # machine-readable
     hopperdissect run --all --trace t.json   # + Perfetto trace
     hopperdissect stats table04_mem_latency  # counter deep-dive
+    hopperdissect serve < queries.jsonl      # batch cost oracle
+    hopperdissect query mma -d A100 -p ab=fp16 -p cd=fp32 \
+        -p m=16 -p n=8 -p k=16               # one-shot point query
 
 ``--device/--devices`` and ``--seed``/``--fidelity`` build the
 :class:`~repro.core.context.RunContext` the builders run under; the
@@ -322,6 +325,112 @@ def _cmd_stats(args) -> int:
     return 0 if res.passed and not drift_failed else 1
 
 
+def _parse_param(item: str):
+    """One ``-p key=value`` flag → (key, typed value): ints stay
+    ints, ``true``/``false`` become booleans, the rest stay strings."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(
+            f"hopperdissect: bad param {item!r}; expected key=value")
+    low = raw.lower()
+    if low in ("true", "false"):
+        return key, low == "true"
+    try:
+        return key, int(raw)
+    except ValueError:
+        return key, raw
+
+
+def _make_service(args, context):
+    from repro.serve import QueryService
+
+    return QueryService(context=context, cache=_make_cache(args),
+                        jobs=args.jobs)
+
+
+def _cmd_serve(args) -> int:
+    """Batch query loop: JSONL requests in (stdin or ``--input``),
+    canonical JSONL predictions out.  The whole stream is answered as
+    one batch so duplicate and same-(kind, device) queries coalesce
+    onto single vectorized sweeps."""
+    context = _make_context(args)
+    if args.input:
+        with open(args.input) as fh:
+            lines = fh.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    session = _make_obs(args)
+    service = _make_service(args, context)
+    if session is not None:
+        with session.activate():
+            text = service.answer_lines_text(lines)
+    else:
+        text = service.answer_lines_text(lines)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    _finish_obs(session, args, context)
+    if args.stats_json:
+        service.write_stats_json(args.stats_json)
+        print(f"wrote {args.stats_json} (service stats)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """One-shot point query from flags (or a raw ``--json`` object);
+    prints the canonical prediction line.  Unknown devices and
+    experiment names fail with the registries' did-you-mean
+    suggestions."""
+    import json as _json
+
+    from repro.serve import QueryError, parse_query
+
+    if args.json:
+        try:
+            obj = _json.loads(args.json)
+        except _json.JSONDecodeError as exc:
+            print(f"hopperdissect: bad --json: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        if not args.kind:
+            print("hopperdissect: name a query kind (or pass --json)",
+                  file=sys.stderr)
+            return 2
+        obj = {"kind": args.kind}
+        if args.query_device:
+            obj["device"] = args.query_device
+        if args.precision:
+            obj["precision"] = args.precision
+        if args.param:
+            obj["params"] = dict(_parse_param(p) for p in args.param)
+    try:
+        query = parse_query(obj)
+    except QueryError as exc:
+        print(f"hopperdissect: bad query: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # unknown device — get_device's did-you-mean message
+        print(f"hopperdissect: {exc.args[0] if exc.args else exc}",
+              file=sys.stderr)
+        return 2
+    context = _make_context(args)
+    session = _make_obs(args)
+    service = _make_service(args, context)
+    if session is not None:
+        with session.activate():
+            prediction = service.answer(query)
+    else:
+        prediction = service.answer(query)
+    print(prediction.to_line())
+    _finish_obs(session, args, context)
+    return 0 if prediction.status != "error" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="hopperdissect",
@@ -442,6 +551,55 @@ def build_parser() -> argparse.ArgumentParser:
                               "family's total observations "
                               "(default: 0 — exact)")
     stats_p.set_defaults(fn=_cmd_stats)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="answer a JSONL batch of cost queries (stdin → stdout)",
+    )
+    serve_p.add_argument("-i", "--input", default=None, metavar="PATH",
+                         help="JSONL request file (default: stdin)")
+    serve_p.add_argument("-o", "--output", default=None, metavar="PATH",
+                         help="prediction JSONL output "
+                              "(default: stdout)")
+    serve_p.add_argument("--stats-json", default=None, metavar="PATH",
+                         dest="stats_json",
+                         help="dump private service stats (cache hit "
+                              "tiers, wall-stage latency histograms) — "
+                              "kept out of the deterministic counter "
+                              "bank")
+    add_perf_flags(serve_p)
+    add_context_flags(serve_p)
+    add_obs_flags(serve_p)
+    serve_p.set_defaults(fn=_cmd_serve)
+
+    query_p = sub.add_parser(
+        "query",
+        help="answer one point query from flags",
+    )
+    query_p.add_argument("kind", nargs="?", default=None,
+                         help="query kind (te.linear, llm.generate, "
+                              "mma, wgmma, memory.latency, "
+                              "dsm.bandwidth, experiment)")
+    query_p.add_argument("-d", "--on", dest="query_device",
+                         default=None, metavar="NAME",
+                         help="target device of the query (registry "
+                              "name; --device/--devices remain the "
+                              "run-context sweep for experiment "
+                              "queries)")
+    query_p.add_argument("--precision", default=None,
+                         help="fp32/fp16/bf16/fp8 for te.linear and "
+                              "llm.generate")
+    query_p.add_argument("-p", "--param", action="append",
+                         default=None, metavar="KEY=VALUE",
+                         help="query parameter; repeatable "
+                              "(e.g. -p m=4096 -p n=4096 -p k=4096)")
+    query_p.add_argument("--json", default=None, metavar="OBJECT",
+                         help="raw query JSON object (overrides the "
+                              "flag form)")
+    add_perf_flags(query_p)
+    add_context_flags(query_p)
+    add_obs_flags(query_p)
+    query_p.set_defaults(fn=_cmd_query)
     return p
 
 

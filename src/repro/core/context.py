@@ -165,6 +165,25 @@ class RunContext:
     def without_hook(self) -> "RunContext":
         return replace(self, hook=None) if self.hook else self
 
+    def derive(self, *, devices: Optional[Tuple[str, ...]] = None,
+               seed: Optional[int] = None,
+               fidelity: Optional[str] = None) -> "RunContext":
+        """A context with just the named fields replaced.
+
+        This is the query→context bridge used by :mod:`repro.serve`:
+        a family-level query overrides only the sweep, seed or
+        fidelity it names and inherits everything else from the
+        service's base context.  The hook is dropped — derived
+        contexts cross process boundaries and identity must stay a
+        pure function of the query plus the base token.
+        """
+        return RunContext(
+            devices=self.devices if devices is None else tuple(devices),
+            seed=self.seed if seed is None else int(seed),
+            fidelity=self.fidelity if fidelity is None else
+            str(fidelity),
+        )
+
     def emit(self, name: str, wall_s: float) -> None:
         """Feed the metrics hook, if one is attached."""
         if self.hook is not None:

@@ -228,6 +228,38 @@ CATALOG: Tuple[CounterEntry, ...] = (
                  "repro.perf.cache", "Result-cache misses."),
     CounterEntry("result_cache.store", "counter", "entries",
                  "repro.perf.cache", "Result-cache stores."),
+    CounterEntry("result_cache.eviction", "counter", "entries",
+                 "repro.perf.cache",
+                 "Entries evicted by the LRU size guard."),
+    # -- query service (repro.serve) ----------------------------------------
+    CounterEntry("serve.queries", "counter", "queries",
+                 "repro.serve.service",
+                 "Well-formed queries received."),
+    CounterEntry("serve.errors", "counter", "queries",
+                 "repro.serve.service",
+                 "Malformed request lines answered with in-stream "
+                 "error predictions."),
+    CounterEntry("serve.batches", "counter", "batches",
+                 "repro.serve.service", "Query batches planned."),
+    CounterEntry("serve.batch.size", "histogram", "queries",
+                 "repro.serve.service", "Queries per batch."),
+    CounterEntry("serve.shards", "counter", "shards",
+                 "repro.serve.service",
+                 "Per-(kind, device) dispatch shards planned."),
+    CounterEntry("serve.dedup", "counter", "queries",
+                 "repro.serve.service",
+                 "Duplicate queries collapsed onto an earlier slot."),
+    CounterEntry("serve.predicted.ns", "histogram", "nanoseconds",
+                 "repro.serve.oracle",
+                 "Predicted (modeled, never wall-clock) kernel/step "
+                 "durations."),
+    CounterEntry("serve.predicted.clk", "histogram", "cycles",
+                 "repro.serve.oracle",
+                 "Predicted (modeled) instruction/access latencies."),
+    CounterEntry("serve.cache.evictions", "counter", "entries",
+                 "repro.perf.cache",
+                 "Shard-prediction entries evicted by the LRU size "
+                 "guard while serving."),
 )
 
 

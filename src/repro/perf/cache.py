@@ -36,6 +36,21 @@ Corrupt or truncated files are treated as misses.  Writes go through a
 temp file + :func:`os.replace` so concurrent runners never observe a
 partial entry.  Keys embed the context token, so the same experiment
 cached under different contexts coexists on disk.
+
+Two extensions serve the long-running query service
+(:mod:`repro.serve`):
+
+* a **size guard** — ``max_entries`` (or
+  ``$HOPPERDISSECT_CACHE_MAX_ENTRIES``) bounds the entry count with
+  LRU eviction (reads refresh an entry's mtime; the oldest entries
+  beyond the bound are deleted on store, counted by
+  ``stats.evictions`` and the ``serve.cache.evictions`` counter), so
+  an always-on service cannot grow the cache without bound;
+* a **blob tier** — :meth:`ResultCache.get_blob` /
+  :meth:`ResultCache.put_blob` store arbitrary pickled payloads under
+  caller-supplied content keys with the same atomic-write, corrupt-
+  entry and eviction discipline, which is how shard-level prediction
+  entries share the experiment cache's content-addressed store.
 """
 
 from __future__ import annotations
@@ -47,7 +62,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.context import DEFAULT_CONTEXT, RunContext
 from repro.core.registry import ExperimentResult, get_experiment
@@ -211,10 +226,22 @@ class ResultCacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+
+def default_max_entries() -> Optional[int]:
+    """``$HOPPERDISSECT_CACHE_MAX_ENTRIES`` as an int (``0`` or unset
+    meaning unbounded, the historical behaviour)."""
+    raw = os.environ.get("HOPPERDISSECT_CACHE_MAX_ENTRIES", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass
@@ -222,10 +249,13 @@ class ResultCache:
     """Content-addressed store of experiment results.
 
     ``root=None`` resolves to :func:`default_cache_dir` at first use.
+    ``max_entries=None`` reads :func:`default_max_entries`; a positive
+    bound turns on LRU eviction (see the module docstring).
     """
 
     root: Optional[Path] = None
     stats: ResultCacheStats = field(default_factory=ResultCacheStats)
+    max_entries: Optional[int] = None
     _cut_digests: Dict[str, str] = field(default_factory=dict,
                                          repr=False)
     _fallback_digest: Optional[str] = field(default=None, repr=False)
@@ -234,6 +264,10 @@ class ResultCache:
         if self.root is None:
             self.root = default_cache_dir()
         self.root = Path(self.root)
+        if self.max_entries is None:
+            self.max_entries = default_max_entries()
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
 
     # -- keys ---------------------------------------------------------------
 
@@ -307,6 +341,7 @@ class ResultCache:
             self.stats.misses += 1
             _record_provenance("miss", name)
             return None
+        self._touch(path)
         self.stats.hits += 1
         _record_provenance("hit", name)
         return result
@@ -339,7 +374,107 @@ class ResultCache:
             raise
         self.stats.stores += 1
         _record_provenance("store", name)
+        self._enforce_bound(keep=path)
         return path
+
+    # -- the blob tier ------------------------------------------------------
+
+    def blob_path(self, kind: str, key: str) -> Path:
+        """Where a blob of ``kind`` under content ``key`` lives — the
+        same ``{name}-{key[:20]}.pkl`` layout the experiment tier uses,
+        so :meth:`clear` and the LRU bound govern both tiers."""
+        return self.root / f"{kind}-{key[:20]}.pkl"
+
+    def get_blob(self, kind: str, key: str) -> Optional[Any]:
+        """The payload stored under (``kind``, ``key``), or ``None``.
+        Corrupt or mismatched entries are misses, like :meth:`get`."""
+        path = self.blob_path(kind, key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (payload["schema"] != _SCHEMA
+                    or payload["kind"] != kind
+                    or payload["key"] != key):
+                raise ValueError("stale payload")
+            value = payload["value"]
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                ValueError, AttributeError, ImportError):
+            self.stats.misses += 1
+            _record_provenance("miss", kind)
+            return None
+        self._touch(path)
+        self.stats.hits += 1
+        _record_provenance("hit", kind)
+        return value
+
+    def put_blob(self, kind: str, key: str, value: Any) -> Path:
+        """Store a picklable ``value`` under (``kind``, ``key``)
+        atomically, then enforce the LRU bound."""
+        path = self.blob_path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": _SCHEMA, "kind": kind, "key": key,
+                   "value": value}
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{kind}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        _record_provenance("store", kind)
+        self._enforce_bound(keep=path)
+        return path
+
+    # -- the size guard -----------------------------------------------------
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime so reads count as recent use."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _enforce_bound(self, keep: Optional[Path] = None) -> int:
+        """Evict oldest-mtime entries beyond ``max_entries``.  The
+        just-written ``keep`` path is never evicted, even under a
+        pathological mtime tie.  Returns the eviction count."""
+        if self.max_entries is None or not self.root.is_dir():
+            return 0
+        entries = []
+        for p in self.root.glob("*.pkl"):
+            try:
+                entries.append((p.stat().st_mtime, str(p), p))
+            except OSError:
+                continue            # raced with another evictor
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return 0
+        entries.sort()              # oldest first; path breaks ties
+        evicted = 0
+        for _, _, p in entries:
+            if evicted >= excess:
+                break
+            if keep is not None and p == keep:
+                continue
+            try:
+                p.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            self.stats.evictions += 1
+            _record_provenance("eviction", p.stem)
+            sess = _obs.ACTIVE
+            if sess is not None:
+                sess.counters.add("serve.cache.evictions")
+        return evicted
 
     def clear(self) -> int:
         """Delete every entry under the cache root; returns a count."""
