@@ -411,12 +411,9 @@ def _cmd_query(args) -> int:
     try:
         query = parse_query(obj)
     except QueryError as exc:
+        # covers unknown devices too — the schema re-raises the
+        # registry's did-you-mean KeyError as a QueryError
         print(f"hopperdissect: bad query: {exc}", file=sys.stderr)
-        return 2
-    except KeyError as exc:
-        # unknown device — get_device's did-you-mean message
-        print(f"hopperdissect: {exc.args[0] if exc.args else exc}",
-              file=sys.stderr)
         return 2
     context = _make_context(args)
     session = _make_obs(args)

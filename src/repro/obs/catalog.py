@@ -257,9 +257,16 @@ CATALOG: Tuple[CounterEntry, ...] = (
                  "repro.serve.oracle",
                  "Predicted (modeled) instruction/access latencies."),
     CounterEntry("serve.cache.evictions", "counter", "entries",
-                 "repro.perf.cache",
-                 "Shard-prediction entries evicted by the LRU size "
-                 "guard while serving."),
+                 "repro.serve.service",
+                 "On-disk shard-prediction entries evicted by the LRU "
+                 "size guard while serving (private stats bank, "
+                 "surfaced via --stats-json — never the deterministic "
+                 "bank)."),
+    CounterEntry("serve.memo.evictions", "counter", "entries",
+                 "repro.serve.service",
+                 "In-process memo entries evicted by the warm-tier "
+                 "LRU bound (private stats bank, surfaced via "
+                 "--stats-json)."),
 )
 
 

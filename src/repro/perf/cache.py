@@ -44,8 +44,9 @@ Two extensions serve the long-running query service
   ``$HOPPERDISSECT_CACHE_MAX_ENTRIES``) bounds the entry count with
   LRU eviction (reads refresh an entry's mtime; the oldest entries
   beyond the bound are deleted on store, counted by
-  ``stats.evictions`` and the ``serve.cache.evictions`` counter), so
-  an always-on service cannot grow the cache without bound;
+  ``stats.evictions`` and the ``result_cache.eviction`` provenance
+  counter), so an always-on service cannot grow the cache without
+  bound;
 * a **blob tier** — :meth:`ResultCache.get_blob` /
   :meth:`ResultCache.put_blob` store arbitrary pickled payloads under
   caller-supplied content keys with the same atomic-write, corrupt-
@@ -470,10 +471,10 @@ class ResultCache:
                 continue
             evicted += 1
             self.stats.evictions += 1
+            # session side: the result_cache.eviction provenance
+            # counter only — serve.* tallies belong to the service's
+            # private stats bank, never the deterministic bank
             _record_provenance("eviction", p.stem)
-            sess = _obs.ACTIVE
-            if sess is not None:
-                sess.counters.add("serve.cache.evictions")
         return evicted
 
     def clear(self) -> int:

@@ -76,8 +76,11 @@ def _experiment_predictions(queries: List[Query],
                 seed=q.param("seed"),
                 fidelity=q.param("fidelity"))
         except (KeyError, ValueError) as exc:
+            # KeyError str() wraps its message in quotes — unwrap
+            msg = exc.args[0] if isinstance(exc, KeyError) \
+                and exc.args else str(exc)
             out.append(Prediction.error(
-                str(exc), kind=q.kind, device=q.device, qid=q.qid))
+                msg, kind=q.kind, device=q.device, qid=q.qid))
             continue
         if not exp.supports(ctx):
             out.append(Prediction.unsupported(

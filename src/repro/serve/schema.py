@@ -208,7 +208,13 @@ class Query:
                     f"kind {self.kind!r} requires a device")
             from repro.arch import get_device
 
-            get_device(self.device)  # KeyError w/ suggestions upstream
+            try:
+                get_device(self.device)
+            except KeyError as exc:
+                # the registry's did-you-mean message, re-raised as a
+                # parse error so answer_lines keeps it in-stream
+                raise QueryError(
+                    exc.args[0] if exc.args else str(exc)) from None
             object.__setattr__(self, "device", self.device.upper())
         elif self.device:
             object.__setattr__(self, "device", self.device.upper())

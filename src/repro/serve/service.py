@@ -41,7 +41,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import (
     Any,
@@ -65,10 +67,26 @@ from repro.serve.schema import (
     parse_query_line,
 )
 
-__all__ = ["QueryService", "STATS_SCHEMA"]
+__all__ = ["QueryService", "STATS_SCHEMA", "default_memo_entries"]
 
 #: schema tag of the ``--stats-json`` payload
 STATS_SCHEMA = "hopperdissect.serve.stats/v1"
+
+#: default bound of the in-process memo (shard entries, LRU) — an
+#: always-on service must not grow either cache tier without limit
+_MEMO_DEFAULT = 512
+
+
+def default_memo_entries() -> Optional[int]:
+    """``$HOPPERDISSECT_SERVE_MEMO_MAX_ENTRIES`` as an int — the
+    warm-tier sibling of the on-disk tier's
+    ``$HOPPERDISSECT_CACHE_MAX_ENTRIES``.  Unset means the bounded
+    default; ``0`` means unbounded (an explicit opt-out)."""
+    raw = os.environ.get("HOPPERDISSECT_SERVE_MEMO_MAX_ENTRIES", "")
+    if not raw.strip():
+        return _MEMO_DEFAULT
+    value = int(raw)
+    return value if value > 0 else None
 
 #: blob-tier namespace of shard-level prediction entries
 _BLOB_KIND = "serve-shard"
@@ -103,15 +121,40 @@ class QueryService:
     """
 
     def __init__(self, *, context: Optional[RunContext] = None,
-                 cache: Optional[Any] = None, jobs: int = 1) -> None:
+                 cache: Optional[Any] = None, jobs: int = 1,
+                 memo_entries: Optional[int] = None) -> None:
         self.context = (DEFAULT_CONTEXT if context is None
                         else context).without_hook()
         self.cache = cache
         self.jobs = max(1, int(jobs))
+        if memo_entries is None:
+            memo_entries = default_memo_entries()
+        elif memo_entries <= 0:
+            memo_entries = None
+        self.memo_entries = memo_entries
         #: private bank: cache-tier tallies + wall-stage histograms.
         #: Deliberately not the session's — see the module docstring.
         self.stats = CounterSet()
-        self._memo: Dict[str, _Entry] = {}
+        self._memo: "OrderedDict[str, _Entry]" = OrderedDict()
+
+    # -- the memo tier ------------------------------------------------------
+
+    def _memo_get(self, key: str) -> Optional[_Entry]:
+        entry = self._memo.get(key)
+        if entry is not None:
+            self._memo.move_to_end(key)
+        return entry
+
+    def _memo_put(self, key: str, entry: _Entry) -> _Entry:
+        """Insert under the LRU bound; evictions only drop warm-start
+        state, never answers, so the bound cannot affect output."""
+        self._memo[key] = entry
+        self._memo.move_to_end(key)
+        if self.memo_entries is not None:
+            while len(self._memo) > self.memo_entries:
+                self._memo.popitem(last=False)
+                self.stats.add("serve.memo.evictions")
+        return entry
 
     # -- storage keys -------------------------------------------------------
 
@@ -131,7 +174,15 @@ class QueryService:
         h = hashlib.sha256()
         h.update(f"version={repro.__version__}\n".encode())
         h.update(f"context={self.context.token()}\n".encode())
-        h.update(f"devices={device_digest(devices)}\n".encode())
+        try:
+            h.update(f"devices={device_digest(devices)}\n".encode())
+        except KeyError:
+            # unknown device on an experiment-kind shard (point-query
+            # devices are validated at construction): key on the raw
+            # names so the shard still dispatches and the in-stream
+            # error path answers it
+            h.update(f"devices=unknown:{','.join(devices)}\n"
+                     .encode())
         h.update(f"obs={int(obs)}\n".encode())
         h.update(f"content={shard.content_key()}\n".encode())
         if shard.kind == "experiment":
@@ -151,10 +202,17 @@ class QueryService:
             get_experiment(name)
         except KeyError:
             return f"unknown={name}"
-        ctx = self.context.derive(
-            devices=(query.device,) if query.device else None,
-            seed=query.param("seed"),
-            fidelity=query.param("fidelity"))
+        try:
+            ctx = self.context.derive(
+                devices=(query.device,) if query.device else None,
+                seed=query.param("seed"),
+                fidelity=query.param("fidelity"))
+        except (KeyError, ValueError) as exc:
+            # underivable context (unknown device — experiment-kind
+            # queries skip device validation at construction): a
+            # stable sentinel keeps the shard dispatchable so the
+            # in-stream error path answers the query
+            return f"badctx={exc}"
         return f"experiment={self._keyer.key_for(name, ctx)}"
 
     @property
@@ -211,7 +269,7 @@ class QueryService:
         keys = [self._storage_key(s, obs) for s in plan.shards]
         missing: List[int] = []
         for i, key in enumerate(keys):
-            entry = self._memo.get(key)
+            entry = self._memo_get(key)
             if entry is not None:
                 self.stats.add("serve.cache.memo_hits")
                 entries[i] = entry
@@ -221,10 +279,10 @@ class QueryService:
                     blob = self.cache.get_blob(_BLOB_KIND, key)
                 if blob is not None:
                     self.stats.add("serve.cache.blob_hits")
-                    entries[i] = self._memo[key] = (
+                    entries[i] = self._memo_put(key, (
                         [Prediction.from_payload(p) for p in blob[0]],
                         blob[1],
-                    )
+                    ))
                     continue
             self.stats.add("serve.cache.shard_misses")
             missing.append(i)
@@ -236,7 +294,7 @@ class QueryService:
             self._wall("serve.wall.dispatch_us", t0)
             for i, result in zip(missing, results):
                 entry: _Entry = (result.predictions, result.dump)
-                entries[i] = self._memo[keys[i]] = entry
+                entries[i] = self._memo_put(keys[i], entry)
                 if self.cache is not None:
                     before = self.cache.stats.evictions
                     with _muted():

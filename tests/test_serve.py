@@ -70,7 +70,9 @@ class TestQuerySchema:
                          "params": {"m": 64, "n": 64}})
 
     def test_unknown_device_gets_suggestions(self):
-        with pytest.raises(KeyError, match="did you mean"):
+        # QueryError, not KeyError — answer_lines only catches the
+        # former, so this is what keeps a bad device in-stream
+        with pytest.raises(QueryError, match="did you mean"):
             parse_query({"kind": "mma", "device": "H80",
                          "params": {"ab": "fp16", "cd": "fp32",
                                     "m": 16, "n": 8, "k": 16}})

@@ -164,6 +164,95 @@ class TestExperimentFallback:
             < base.metric("checks_total")
 
 
+class TestInStreamErrors:
+    """One bad line never aborts a batch — the contract REVIEW.md
+    caught two crashes against."""
+
+    def test_unknown_device_line_stays_in_stream(self):
+        # device validation raises QueryError (not KeyError), so the
+        # JSONL loop answers the bad line and keeps streaming
+        lines = [
+            json.dumps({"kind": "mma", "device": "A1000",
+                        "params": {"ab": "fp16", "cd": "fp32",
+                                   "m": 16, "n": 8, "k": 16},
+                        "id": "bad-dev"}),
+            json.dumps({"kind": "mma", "device": "A100",
+                        "params": {"ab": "fp16", "cd": "fp32",
+                                   "m": 16, "n": 8, "k": 16},
+                        "id": "good"}),
+        ]
+        bad, good = QueryService(cache=None).answer_lines(lines)
+        assert bad.status == "error"
+        assert bad.qid == "bad-dev"
+        assert "did you mean" in bad.reason
+        assert good.status == "ok"
+
+    def test_experiment_query_unknown_device_stays_in_stream(self):
+        # experiment-kind queries skip device validation at
+        # construction; the storage-key derive() must not crash before
+        # dispatch's in-stream error path can answer
+        lines = [
+            json.dumps({"kind": "experiment", "device": "A1000",
+                        "params": {"name": "table03_devices"},
+                        "id": "bad-dev"}),
+            json.dumps({"kind": "dsm.bandwidth", "device": "H800",
+                        "params": {"cluster_size": 4},
+                        "id": "good"}),
+        ]
+        bad, good = QueryService(cache=None).answer_lines(lines)
+        assert bad.status == "error"
+        assert bad.qid == "bad-dev"
+        assert "A1000" in bad.reason
+        assert good.status == "ok"
+
+
+class TestMemoBound:
+    def _q(self, cluster):
+        return parse_query({"kind": "dsm.bandwidth", "device": "H800",
+                            "params": {"cluster_size": cluster}})
+
+    def test_memo_is_lru_bounded(self):
+        service = QueryService(cache=None, memo_entries=2)
+        for cluster in (1, 2, 4, 8):
+            service.answer(self._q(cluster))
+        assert len(service._memo) == 2
+        assert service.stats.as_dict()["serve.memo.evictions"] == 2
+        # the newest entries are the survivors: re-asking them hits
+        before = service.stats.as_dict().get("serve.cache.memo_hits",
+                                             0)
+        service.answer(self._q(8))
+        assert service.stats.as_dict()["serve.cache.memo_hits"] \
+            == before + 1
+
+    def test_memo_env_default(self, monkeypatch):
+        from repro.serve.service import (
+            _MEMO_DEFAULT,
+            default_memo_entries,
+        )
+
+        monkeypatch.delenv("HOPPERDISSECT_SERVE_MEMO_MAX_ENTRIES",
+                           raising=False)
+        assert default_memo_entries() == _MEMO_DEFAULT
+        monkeypatch.setenv("HOPPERDISSECT_SERVE_MEMO_MAX_ENTRIES",
+                           "7")
+        assert default_memo_entries() == 7
+        assert QueryService(cache=None).memo_entries == 7
+        monkeypatch.setenv("HOPPERDISSECT_SERVE_MEMO_MAX_ENTRIES",
+                           "0")
+        assert default_memo_entries() is None
+
+    def test_eviction_does_not_change_answers(self):
+        # evictions drop warm-start state only: a churning bounded
+        # memo answers identically to an unbounded one
+        bounded = QueryService(cache=None, memo_entries=1)
+        unbounded = QueryService(cache=None, memo_entries=0)
+        clusters = (1, 2, 4, 1, 2, 4)
+        a = [bounded.answer(self._q(c)).to_line() for c in clusters]
+        b = [unbounded.answer(self._q(c)).to_line() for c in clusters]
+        assert a == b
+        assert bounded.stats.as_dict()["serve.memo.evictions"] > 0
+
+
 class TestCacheSizeGuard:
     def _fill(self, cache, n):
         import hashlib
@@ -193,12 +282,15 @@ class TestCacheSizeGuard:
         assert cache.get_blob("blobtest", "b" * 40) is None
 
     def test_eviction_counter_fires(self, tmp_path):
+        # the session sees the result_cache.* provenance counter only;
+        # serve.* tallies stay in the service's private stats bank
         session = ObsSession()
         with session.activate():
             cache = ResultCache(root=tmp_path, max_entries=1)
             self._fill(cache, 3)
-        assert session.counters.as_dict()[
-            "serve.cache.evictions"] == 2
+        bank = session.counters.as_dict()
+        assert bank["result_cache.eviction"] == 2
+        assert "serve.cache.evictions" not in bank
 
     def test_env_default(self, tmp_path, monkeypatch):
         monkeypatch.setenv("HOPPERDISSECT_CACHE_MAX_ENTRIES", "7")
