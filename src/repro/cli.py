@@ -428,6 +428,58 @@ def _cmd_query(args) -> int:
     return 0 if prediction.status != "error" else 1
 
 
+def _cmd_fuzz(args) -> int:
+    """Scenario fuzzing: seeded random workloads through the query
+    service, every answer stream checked against the invariant
+    oracle, violations shrunk to replayable repro files.  Exits 1
+    when any invariant fired (``--replay`` included — a repro that
+    still reproduces reports its violation and exits 1)."""
+    from repro.fuzz import replay_repro, run_fuzz
+
+    session = _make_obs(args)
+
+    if args.replay:
+        try:
+            if session is not None:
+                with session.activate():
+                    report = replay_repro(args.replay)
+            else:
+                report = replay_repro(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"hopperdissect: bad repro file: {exc}",
+                  file=sys.stderr)
+            return 2
+        for v in report.violations:
+            print(f"[{v.invariant}] {v.message}")
+        if not report.violations:
+            print(f"{args.replay}: no invariant fires any more "
+                  f"({report.n_queries} queries, "
+                  f"{report.n_checks} checks)")
+        _finish_obs(session, args)
+        return 1 if report.violations else 0
+
+    devices = None
+    if args.devices:
+        devices = tuple(name for item in args.devices
+                        for name in item.split(",") if name)
+    kwargs = dict(jobs=args.jobs, devices=devices,
+                  repro_dir=args.repro_dir,
+                  max_repros=args.max_repros,
+                  shrink=not args.no_shrink)
+    try:
+        if session is not None:
+            with session.activate():
+                report = run_fuzz(args.seed, args.budget, **kwargs)
+        else:
+            report = run_fuzz(args.seed, args.budget, **kwargs)
+    except (KeyError, ValueError) as exc:
+        print(f"hopperdissect: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    _finish_obs(session, args)
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="hopperdissect",
@@ -597,6 +649,47 @@ def build_parser() -> argparse.ArgumentParser:
     add_context_flags(query_p)
     add_obs_flags(query_p)
     query_p.set_defaults(fn=_cmd_query)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="fuzz the cost models against the invariant oracle",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="scenario-stream seed (default: 0); "
+                             "scenario i of seed S is identical "
+                             "across runs and --jobs fan-outs")
+    fuzz_p.add_argument("--budget", type=int, default=200,
+                        metavar="N",
+                        help="number of scenarios to check "
+                             "(default: 200)")
+    fuzz_p.add_argument("-j", "--jobs", type=int, default=1,
+                        metavar="N",
+                        help="check scenarios on N processes "
+                             "(work-stealing pool; results and "
+                             "counter dumps match --jobs 1)")
+    fuzz_p.add_argument("--device", "--devices", dest="devices",
+                        action="append", default=None,
+                        metavar="NAME[,NAME]",
+                        help="device pool scenarios draw lineups "
+                             "from (default: every registered "
+                             "device)")
+    fuzz_p.add_argument("--repro-dir", default=None, metavar="DIR",
+                        dest="repro_dir",
+                        help="write one shrunk repro-*.jsonl per "
+                             "violating scenario here")
+    fuzz_p.add_argument("--max-repros", type=int, default=5,
+                        metavar="N", dest="max_repros",
+                        help="shrink at most N violating scenarios "
+                             "(default: 5)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        dest="no_shrink",
+                        help="write repros without minimizing them")
+    fuzz_p.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-check a repro file instead of "
+                             "fuzzing; exits 1 if it still "
+                             "reproduces")
+    add_obs_flags(fuzz_p)
+    fuzz_p.set_defaults(fn=_cmd_fuzz)
     return p
 
 

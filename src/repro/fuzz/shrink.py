@@ -1,0 +1,161 @@
+"""Shrinking — minimize a violating scenario to a replayable repro.
+
+A thousand-query scenario that trips one invariant is a bad bug
+report.  :func:`shrink_scenario` runs a greedy delta-debugging pass
+(ddmin over the query list, then over the device lineup) that keeps
+removing pieces as long as the *same invariant* still fires, then
+writes the survivor as a JSONL repro file::
+
+    {"schema": "hopperdissect.fuzz.repro/v1", "invariant": ..., ...}
+    {query payload}
+    ...
+
+The header carries the origin (seed, scenario index, lineup) and the
+convicting invariant; every following line is one canonical query
+payload.  :func:`replay_repro` rebuilds the scenario and re-runs the
+oracle — ``hopperdissect fuzz --replay FILE`` is exactly that.
+
+Because the oracle re-derives monotone chains by grouping queries, a
+shrunk subset is checked by the same code path that convicted the
+full scenario — no chain metadata needs to survive shrinking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Tuple
+
+from repro.fuzz.generator import Scenario
+from repro.fuzz.oracle import ScenarioReport, Violation, check_scenario
+from repro.serve.schema import Query, parse_query
+
+__all__ = ["REPRO_SCHEMA", "load_repro", "replay_repro",
+           "shrink_scenario", "write_repro"]
+
+REPRO_SCHEMA = "hopperdissect.fuzz.repro/v1"
+
+
+def _violates(scenario: Scenario, invariant: str) \
+        -> Optional[Violation]:
+    """The first violation of ``invariant`` this candidate still
+    produces (deep pass forced on, so sampling never hides one)."""
+    report = check_scenario(scenario, deep=True)
+    for v in report.violations:
+        if v.invariant == invariant:
+            return v
+    return None
+
+
+def _with(scenario: Scenario, queries: List[Query],
+          devices: Optional[Tuple[str, ...]] = None) -> Scenario:
+    return Scenario(index=scenario.index, seed=scenario.seed,
+                    devices=devices or scenario.devices,
+                    queries=tuple(queries))
+
+
+def _ddmin_queries(scenario: Scenario, invariant: str) -> Scenario:
+    """Classic ddmin: drop ever-smaller chunks while the invariant
+    still fires."""
+    queries = list(scenario.queries)
+    chunk = max(1, len(queries) // 2)
+    while chunk >= 1:
+        i, shrunk = 0, False
+        while i < len(queries) and len(queries) > 1:
+            candidate = queries[:i] + queries[i + chunk:]
+            if candidate and _violates(_with(scenario, candidate),
+                                       invariant) is not None:
+                queries = candidate
+                shrunk = True
+            else:
+                i += chunk
+        if chunk == 1 and not shrunk:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if shrunk else 0)
+    return _with(scenario, queries)
+
+
+def _ddmin_devices(scenario: Scenario, invariant: str) -> Scenario:
+    """Prune the lineup to the devices the violation needs (query
+    targets always stay; lineage violations may need a spec pair
+    with no query at all)."""
+    devices = list(scenario.devices)
+    for name in list(devices):
+        if len(devices) == 1:
+            break
+        candidate = tuple(d for d in devices if d != name)
+        trial = _with(scenario, list(scenario.queries), candidate)
+        if _violates(trial, invariant) is not None:
+            devices = list(candidate)
+    return _with(scenario, list(scenario.queries), tuple(devices))
+
+
+def shrink_scenario(scenario: Scenario, violation: Violation) \
+        -> Tuple[Scenario, Violation]:
+    """The smallest (queries, lineup) still violating the same
+    invariant, plus the violation it produces.  Falls back to the
+    original scenario if the violation is flaky under re-check (it
+    never is for the declared invariants — they are pure functions
+    of the scenario — but a shrinker must not *lose* a repro)."""
+    if _violates(scenario, violation.invariant) is None:
+        return scenario, violation
+    small = _ddmin_queries(scenario, violation.invariant)
+    small = _ddmin_devices(small, violation.invariant)
+    final = _violates(small, violation.invariant)
+    assert final is not None   # ddmin only keeps violating candidates
+    return small, final
+
+
+# -- repro files -------------------------------------------------------------
+
+
+def write_repro(path, scenario: Scenario, violation: Violation) -> str:
+    """Write the shrunk scenario as a replayable JSONL repro file."""
+    header = {
+        "schema": REPRO_SCHEMA,
+        "invariant": violation.invariant,
+        "message": violation.message,
+        "seed": scenario.seed,
+        "scenario": scenario.index,
+        "devices": list(scenario.devices),
+    }
+    lines = [json.dumps(header, sort_keys=True,
+                        separators=(",", ":"))]
+    lines += [q.canonical() for q in scenario.queries]
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return str(path)
+
+
+def load_repro(path) -> Tuple[Scenario, str]:
+    """Rebuild (scenario, invariant) from a repro file.
+
+    Raises ``ValueError`` on a wrong schema tag and lets query
+    validation errors propagate — a repro that names an unregistered
+    device (e.g. a test-only injected pack) must be replayed in a
+    process that registers it first.
+    """
+    with open(path) as fh:
+        lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty repro file")
+    header = json.loads(lines[0])
+    if header.get("schema") != REPRO_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {REPRO_SCHEMA!r}, got "
+            f"{header.get('schema')!r}")
+    queries = tuple(parse_query(json.loads(ln)) for ln in lines[1:])
+    scenario = Scenario(
+        index=int(header.get("scenario", 0)),
+        seed=int(header.get("seed", 0)),
+        devices=tuple(header.get("devices", ())),
+        queries=queries,
+    )
+    return scenario, str(header["invariant"])
+
+
+def replay_repro(path) -> ScenarioReport:
+    """Re-run the oracle over a repro file's scenario (deep pass
+    forced on, exactly as the shrinker checked it)."""
+    scenario, _invariant = load_repro(path)
+    return check_scenario(scenario, deep=True)

@@ -267,6 +267,35 @@ CATALOG: Tuple[CounterEntry, ...] = (
                  "In-process memo entries evicted by the warm-tier "
                  "LRU bound (private stats bank, surfaced via "
                  "--stats-json)."),
+    CounterEntry("fuzz.scenarios", "counter", "scenarios",
+                 "repro.fuzz.driver",
+                 "Fuzz scenarios checked against the invariant "
+                 "oracle."),
+    CounterEntry("fuzz.queries", "counter", "queries",
+                 "repro.fuzz.driver",
+                 "Serve queries issued across all fuzz scenarios."),
+    CounterEntry("fuzz.checks", "counter", "checks",
+                 "repro.fuzz.driver",
+                 "Invariant evaluations performed by the oracle "
+                 "(one per applicable invariant per scenario)."),
+    CounterEntry("fuzz.violations", "counter", "violations",
+                 "repro.fuzz.driver",
+                 "Invariant violations the oracle reported."),
+    CounterEntry("fuzz.status.*", "counter", "answers",
+                 "repro.fuzz.driver",
+                 "Prediction statuses across all fuzz answers (one "
+                 "counter per ok/unsupported/oom/error)."),
+    CounterEntry("fuzz.scenario.queries", "histogram", "queries",
+                 "repro.fuzz.driver",
+                 "Queries per fuzz scenario."),
+    CounterEntry("fuzz.repros", "counter", "repros",
+                 "repro.fuzz.driver",
+                 "Violating scenarios shrunk to minimal repro "
+                 "cases."),
+    CounterEntry("fuzz.repro.queries", "histogram", "queries",
+                 "repro.fuzz.driver",
+                 "Queries surviving in each shrunk repro — how "
+                 "small ddmin got the case."),
 )
 
 

@@ -40,7 +40,8 @@ from repro.perf.profile import (
     load_bench_json,
     write_bench_json,
 )
-from repro.perf.runner import RunReport, parallel_map, run_experiments
+from repro.perf.runner import (RunReport, parallel_imap, parallel_map,
+                               run_experiments)
 
 __all__ = [
     "ResultCache",
@@ -56,5 +57,6 @@ __all__ = [
     "latest_bench_entry",
     "RunReport",
     "run_experiments",
+    "parallel_imap",
     "parallel_map",
 ]

@@ -14,10 +14,25 @@ arbitrary callable too — never crosses the process boundary).
 :func:`parallel_map` is the same machinery for non-experiment
 workloads (the cache-study probe sweeps): a module-level worker
 function fanned over a pool, results in input order.
+
+Two dispatch disciplines coexist:
+
+* **chunked** (``pool.map`` with a chunksize) — lowest per-item
+  overhead, but a pool worker owns its chunk to completion, so a
+  heavy-tailed job mix strands the light chunks behind the heavy one;
+* **work-stealing** (:func:`parallel_imap` —
+  ``imap_unordered`` over index-tagged items) — completion-order
+  streaming where idle workers immediately pull the next item, which
+  is what lets thousands of small jobs saturate the pool
+  (``benchmarks/bench_fuzz.py`` gates the ≥2x claim).  Callers
+  re-merge by the yielded index when they need input order —
+  ``parallel_map(..., unordered=True)`` and the experiment runner do
+  exactly that, so determinism is untouched.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
@@ -26,6 +41,7 @@ from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -43,7 +59,8 @@ from repro.obs.session import ObsSession
 from repro.perf.cache import ResultCache
 from repro.perf.profile import Profiler
 
-__all__ = ["RunReport", "run_experiments", "parallel_map"]
+__all__ = ["RunReport", "run_experiments", "parallel_map",
+           "parallel_imap"]
 
 
 def _run_one(task: Tuple[str, dict, Optional[dict]]) \
@@ -151,13 +168,13 @@ def run_experiments(
             tasks = [(name, payload, obs_cfg) for name in pending]
         with _span("runner.dispatch", jobs=max(1, jobs),
                    pending=len(pending)):
-            if jobs > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(pending))
-                ) as pool:
-                    outcomes = list(pool.map(_run_one, tasks))
-            else:
-                outcomes = [_run_one(task) for task in tasks]
+            # work-stealing dispatch: completion order is arbitrary,
+            # so collect by index and process in requested order —
+            # the merge below stays deterministic either way
+            outcomes: List[Any] = [None] * len(tasks)
+            for i, outcome in parallel_imap(_run_one, tasks,
+                                            jobs=jobs):
+                outcomes[i] = outcome
         for name, table, checks, wall, dump in outcomes:
             res = ExperimentResult(
                 experiment=get_experiment(name),
@@ -188,12 +205,56 @@ def run_experiments(
     return RunReport(results=ordered, profiler=profiler)
 
 
+def _indexed_call(task: Tuple[Callable[[Any], Any], int, Any]) \
+        -> Tuple[int, Any]:
+    """Worker shim — tags each result with its input index so the
+    parent can re-merge completion-order streams deterministically.
+    Must stay module-level for pickling (and so must ``fn``)."""
+    fn, index, item = task
+    return index, fn(item)
+
+
+def parallel_imap(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> Iterator[Tuple[int, Any]]:
+    """Work-stealing map: yields ``(index, fn(item))`` in
+    **completion order**.
+
+    Built on ``multiprocessing.Pool.imap_unordered`` with a small
+    chunksize, so an idle worker steals the next pending item instead
+    of sitting behind a pre-assigned chunk — on heavy-tailed job
+    mixes this is what keeps the pool saturated.  ``jobs <= 1`` or a
+    single item short-circuits to a serial generator (indices then
+    arrive in input order, trivially).
+
+    Callers needing input order re-merge by the yielded index
+    (:func:`parallel_map` with ``unordered=True`` does, as do the
+    experiment runner and the fuzz driver's reorder window).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        for i, x in enumerate(items):
+            yield i, fn(x)
+        return
+    tasks = [(fn, i, x) for i, x in enumerate(items)]
+    with multiprocessing.Pool(
+        processes=min(jobs, len(items))
+    ) as pool:
+        yield from pool.imap_unordered(_indexed_call, tasks,
+                                       chunksize=max(1, chunksize))
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
     *,
     jobs: int = 1,
     chunksize: int = 1,
+    unordered: bool = False,
 ) -> List[Any]:
     """``[fn(x) for x in items]``, fanned over a process pool.
 
@@ -201,10 +262,21 @@ def parallel_map(
     back in input order regardless of completion order.  ``jobs <= 1``
     or a single item short-circuits to the serial loop, so callers can
     pass a user-controlled job count straight through.
+
+    ``unordered=True`` switches the dispatch discipline to the
+    work-stealing pool (:func:`parallel_imap`) and re-merges by index
+    — same results, same order, better wall time when item costs are
+    skewed.  ``chunksize`` keeps its ``pool.map`` meaning either way.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
+    if unordered:
+        out: List[Any] = [None] * len(items)
+        for i, result in parallel_imap(fn, items, jobs=jobs,
+                                       chunksize=chunksize):
+            out[i] = result
+        return out
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(items))
     ) as pool:

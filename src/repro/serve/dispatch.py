@@ -190,7 +190,12 @@ def dispatch_shards(shards: List[Shard], *, jobs: int = 1,
          [q.to_payload() for q in s.queries], obs, ctx_payload)
         for s in shards
     ]
-    outcomes = parallel_map(answer_shard, tasks, jobs=jobs)
+    # work-stealing dispatch: shards of very different weights (one
+    # heavy memory chase vs many light sweep shards) no longer strand
+    # a worker; parallel_map re-merges by index so plan order — and
+    # with it the deterministic counter merge — is preserved
+    outcomes = parallel_map(answer_shard, tasks, jobs=jobs,
+                            unordered=True)
     results = []
     for shard, (payloads, dump) in zip(shards, outcomes):
         results.append(ShardResult(

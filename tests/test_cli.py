@@ -294,3 +294,91 @@ class TestCountersJson:
                          "--no-cache", "-j", jobs,
                          "--counters-json", str(path)]) == 0
         assert a.read_bytes() == b.read_bytes()
+
+
+class TestFuzzCli:
+    @pytest.fixture
+    def bad_dsm_device(self):
+        from dataclasses import replace
+
+        from repro.arch import get_device, register_device
+        from repro.arch.packs import DsmCalibration
+        from repro.arch.registry import DEVICES
+
+        h800 = get_device("H800")
+        register_device(h800.with_overrides(
+            name="H800BAD",
+            pack_override=replace(
+                h800.pack,
+                dsm=DsmCalibration(
+                    link_bytes_per_clk=h800.pack.dsm.link_bytes_per_clk,
+                    contention_alpha=-0.04))))
+        yield
+        DEVICES.pop("H800BAD", None)
+
+    def test_fuzz_smoke_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "2026", "--budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "6 scenarios" in out
+        assert "violations: 0" in out
+
+    def test_fuzz_counters_json(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "fuzz_counters.json"
+        assert main(["fuzz", "--seed", "2026", "--budget", "4",
+                     "--counters-json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["counters"]["fuzz.scenarios"] == 4
+
+    def test_fuzz_unknown_device_exits_two(self, capsys):
+        assert main(["fuzz", "--device", "H801",
+                     "--budget", "2"]) == 2
+        assert "H801" in capsys.readouterr().err
+
+    def test_fuzz_injection_repro_replay_cycle(self, bad_dsm_device,
+                                               tmp_path, capsys):
+        assert main(["fuzz", "--seed", "7", "--budget", "10",
+                     "--device", "H800BAD",
+                     "--repro-dir", str(tmp_path),
+                     "--max-repros", "1"]) == 1
+        assert "dsm_contention_monotone" in capsys.readouterr().out
+        repros = sorted(tmp_path.glob("repro-*.jsonl"))
+        assert len(repros) == 1
+
+        # still reproduces while the bad device is registered
+        assert main(["fuzz", "--replay", str(repros[0])]) == 1
+        assert "dsm_contention_monotone" in capsys.readouterr().out
+
+    def test_fuzz_replay_healthy_repro_exits_zero(self, tmp_path,
+                                                  capsys):
+        from repro.fuzz import Scenario, Violation, write_repro
+        from repro.serve.schema import parse_query
+
+        scenario = Scenario(
+            index=0, seed=0, devices=("H800",),
+            queries=tuple(
+                parse_query({"kind": "dsm.bandwidth",
+                             "device": "H800",
+                             "params": {"cluster_size": cs}})
+                for cs in (2, 4)))
+        path = write_repro(
+            tmp_path / "stale.jsonl", scenario,
+            Violation(invariant="dsm_contention_monotone",
+                      scenario_index=0, seed=0, message="stale"))
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "no invariant fires any more" in \
+            capsys.readouterr().out
+
+    def test_fuzz_replay_bad_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema":"nope"}\n')
+        assert main(["fuzz", "--replay", str(bad)]) == 2
+        assert "bad repro file" in capsys.readouterr().err
+
+    def test_parser_has_fuzz_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--seed", "5", "--budget", "30", "-j", "2",
+             "--device", "H800,A100", "--no-shrink"])
+        assert args.seed == 5 and args.budget == 30
+        assert args.jobs == 2 and args.no_shrink
+        assert args.devices == ["H800,A100"]

@@ -20,6 +20,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch import get_device
+from repro.fuzz.strategies import (
+    cache_ops,
+    chain_lengths,
+    chase_iters,
+    chase_seeds,
+    chase_strides,
+)
 from repro.isa.memory_ops import CacheOp
 from repro.memory import MemoryHierarchy, PChase
 from repro.memory.chase import (ChaseEngine, chase_total_clk,
@@ -38,8 +45,9 @@ def _tiny_device():
 
 _TINY = _tiny_device()
 
-#: strides giving line-grained, page-straddling and page-per-entry walks
-_STRIDES = (128, 4096, 2 * 1024 * 1024)
+#: strides giving line-grained, page-straddling and page-per-entry
+#: walks (shared with the fuzzer's property strategies)
+_STRIDES = chase_strides
 
 
 def _scalar_chase(mh, seq, iters, *, size=32, cache_op=CacheOp.CACHE_ALL):
@@ -69,12 +77,11 @@ def _counter_bank(mh):
 
 class TestEngineEquivalence:
     @settings(max_examples=60, deadline=None)
-    @given(n=st.integers(min_value=2, max_value=48),
-           iters=st.integers(min_value=0, max_value=400),
-           seed=st.sampled_from((None, 0, 7)),
-           stride=st.sampled_from(_STRIDES),
-           op=st.sampled_from((CacheOp.CACHE_ALL,
-                               CacheOp.CACHE_GLOBAL)))
+    @given(n=chain_lengths(48),
+           iters=chase_iters(400),
+           seed=chase_seeds,
+           stride=_STRIDES,
+           op=cache_ops)
     def test_engine_matches_scalar_chase(self, n, iters, seed, stride,
                                          op):
         seq = _chain_order(n, seed=seed) * stride
@@ -114,7 +121,7 @@ class TestEngineEquivalence:
         assert _counter_bank(mh_v) == _counter_bank(mh_s)
 
     @settings(max_examples=20, deadline=None)
-    @given(n=st.integers(min_value=2, max_value=32),
+    @given(n=chain_lengths(32),
            iters=st.integers(min_value=1, max_value=300),
            seed=st.sampled_from((None, 7)))
     def test_obs_counter_bank_matches_scalar(self, n, iters, seed):

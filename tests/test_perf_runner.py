@@ -68,3 +68,43 @@ class TestValidation:
         cache = ResultCache(tmp_path / "rc")
         report = run_experiments(cache=cache)
         assert list(report.results) == list_experiments()
+
+
+def _square(x):
+    """Module-level so the pool can pickle it."""
+    return x * x
+
+
+class TestWorkStealing:
+    """parallel_imap / parallel_map(unordered=True): the
+    work-stealing dispatch yields every indexed result exactly once
+    and re-merges into input order."""
+
+    ITEMS = list(range(23))
+
+    def test_parallel_imap_serial_is_input_order(self):
+        from repro.perf import parallel_imap
+
+        pairs = list(parallel_imap(_square, self.ITEMS, jobs=1))
+        assert pairs == [(i, i * i) for i in self.ITEMS]
+
+    def test_parallel_imap_fanned_covers_every_index(self):
+        from repro.perf import parallel_imap
+
+        pairs = list(parallel_imap(_square, self.ITEMS, jobs=3))
+        assert sorted(pairs) == [(i, i * i) for i in self.ITEMS]
+
+    def test_unordered_map_matches_ordered(self):
+        from repro.perf import parallel_map
+
+        ordered = parallel_map(_square, self.ITEMS, jobs=2)
+        stolen = parallel_map(_square, self.ITEMS, jobs=2,
+                              unordered=True)
+        assert stolen == ordered == [i * i for i in self.ITEMS]
+
+    def test_empty_and_single_item_short_circuit(self):
+        from repro.perf import parallel_imap, parallel_map
+
+        assert list(parallel_imap(_square, [], jobs=4)) == []
+        assert parallel_map(_square, [7], jobs=4,
+                            unordered=True) == [49]

@@ -28,15 +28,14 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.arch import get_device
-from repro.isa.dtypes import DType, accumulator_types
-from repro.isa.lowering import UnsupportedInstruction
-from repro.isa.mma import (
-    MmaInstruction,
-    OperandSource,
-    WgmmaInstruction,
-    mma_shapes,
-    valid_wgmma_n,
+from repro.fuzz.strategies import (
+    mma_instructions,
+    token_arrays,
+    wgmma_instructions,
 )
+from repro.isa.dtypes import DType
+from repro.isa.lowering import UnsupportedInstruction
+from repro.isa.mma import MmaInstruction, WgmmaInstruction, mma_shapes
 from repro.obs.session import ObsSession
 from repro.te.cost import CostModel, Precision
 from repro.te.modules import (
@@ -64,11 +63,6 @@ settings.load_profile("ci")
 
 _DEVICE_NAMES = ("A100", "RTX4090", "H800")
 
-#: input types with a PTX mma shape table
-_MMA_ABS = tuple(d for d in DType if d in
-                 (DType.FP16, DType.BF16, DType.TF32, DType.FP64,
-                  DType.INT8, DType.INT4, DType.BIN1))
-
 
 def _ulp_diff(a: float, b: float) -> float:
     """|a − b| measured in ULPs of the larger magnitude."""
@@ -84,37 +78,10 @@ def assert_ulp(a: float, b: float, bound: float = 2.0) -> None:
     assert _ulp_diff(a, b) <= bound, f"{a!r} vs {b!r} differ > {bound} ULP"
 
 
-# -- strategies --------------------------------------------------------------
-
-
-@st.composite
-def mma_instructions(draw) -> MmaInstruction:
-    ab = draw(st.sampled_from(_MMA_ABS))
-    cd = draw(st.sampled_from(sorted(accumulator_types(ab),
-                                     key=lambda d: d.name)))
-    shape = draw(st.sampled_from(mma_shapes(ab)))
-    sparse = (draw(st.booleans())
-              and ab not in (DType.BIN1, DType.FP64))
-    return MmaInstruction(ab, cd, shape, sparse=sparse)
-
-
-@st.composite
-def wgmma_instructions(draw) -> WgmmaInstruction:
-    ab = draw(st.sampled_from((DType.FP16, DType.BF16, DType.TF32,
-                               DType.E4M3, DType.E5M2, DType.INT8,
-                               DType.BIN1)))
-    cd = draw(st.sampled_from(sorted(accumulator_types(ab),
-                                     key=lambda d: d.name)))
-    n = draw(st.sampled_from(valid_wgmma_n()))
-    sparse = draw(st.booleans()) and ab is not DType.BIN1
-    src = draw(st.sampled_from((OperandSource.SHARED,
-                                OperandSource.REGISTER)))
-    return WgmmaInstruction(ab, cd, n, sparse=sparse, a_source=src)
-
-
-token_arrays = st.lists(st.integers(min_value=1, max_value=1 << 20),
-                        min_size=1, max_size=6).map(np.asarray)
-
+# -- strategies: shared with the runtime fuzzer's property suites ------------
+# (mma_instructions / wgmma_instructions / token_arrays now live in
+# repro.fuzz.strategies, imported above — structurally identical, so
+# the derandomized ci example sequences are unchanged)
 
 # -- tensor-core sweeps -------------------------------------------------------
 
